@@ -1,0 +1,85 @@
+"""Figures 2 and 7 — CLN truth-value curves and predicate relaxations.
+
+Fig. 2: the continuous truth value of
+F(x) = (x = 1) || (x >= 5) || (x >= 2 && x <= 3) over x in [0, 5.5]:
+the curve must peak (≈1) exactly on the satisfying set.
+
+Fig. 7: S(x >= 0) under the original CLN sigmoid (B=5, eps=0.5) vs the
+PBQU construction (c1=0.5, c2=5): the sigmoid *rewards* points far
+above the bound while PBQU penalizes them — the tight-bound mechanism.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cln.activations import (
+    gaussian_equality_numpy,
+    pbqu_ge_numpy,
+    sigmoid_ge_numpy,
+)
+from repro.utils import format_table
+
+
+def _fig2_curve(xs: np.ndarray) -> np.ndarray:
+    eq1 = gaussian_equality_numpy(xs - 1.0, sigma=0.2)
+    ge5 = pbqu_ge_numpy(xs - 5.0, c1=0.3, c2=50.0)
+    band = pbqu_ge_numpy(xs - 2.0, c1=0.3, c2=50.0) * pbqu_ge_numpy(
+        3.0 - xs, c1=0.3, c2=50.0
+    )
+    # product t-conorm of the three clauses
+    return 1.0 - (1.0 - eq1) * (1.0 - ge5) * (1.0 - band)
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_cln_truth_curve(benchmark, emit):
+    xs = np.linspace(0.0, 5.5, 23)
+
+    def run():
+        return _fig2_curve(xs)
+
+    values = benchmark.pedantic(run, rounds=3, iterations=1)
+    rows = [[f"{x:.2f}", f"{v:.3f}"] for x, v in zip(xs, values)]
+    emit(
+        format_table(
+            ["x", "M(x)"],
+            rows,
+            title="Fig. 2 — CLN of (x=1) || (x>=5) || (2<=x<=3)",
+        )
+    )
+    # Shape assertions: high on satisfying set, low elsewhere.
+    curve = dict(zip(np.round(xs, 2), values))
+    assert _fig2_curve(np.array([1.0]))[0] > 0.9
+    assert _fig2_curve(np.array([2.5]))[0] > 0.9
+    assert _fig2_curve(np.array([5.2]))[0] > 0.9
+    assert _fig2_curve(np.array([0.2]))[0] < 0.5
+    assert _fig2_curve(np.array([4.0]))[0] < 0.6
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_sigmoid_vs_pbqu(benchmark, emit):
+    xs = np.linspace(-4.0, 8.0, 25)
+
+    def run():
+        return sigmoid_ge_numpy(xs, B=5.0, eps=0.5), pbqu_ge_numpy(
+            xs, c1=0.5, c2=5.0
+        )
+
+    sig, pbqu = benchmark.pedantic(run, rounds=3, iterations=1)
+    rows = [
+        [f"{x:.1f}", f"{s:.3f}", f"{p:.3f}"] for x, s, p in zip(xs, sig, pbqu)
+    ]
+    emit(
+        format_table(
+            ["x", "sigmoid S(x>=0)", "PBQU S(x>=0)"],
+            rows,
+            title="Fig. 7 — relaxations of x >= 0 (B=5, eps=0.5; c1=0.5, c2=5)",
+        )
+    )
+    # The paper's contrast: sigmoid is monotone increasing (loose fits
+    # rewarded); PBQU peaks at the boundary and decays above it.
+    assert np.all(np.diff(sig) >= -1e-9)
+    peak = int(np.argmax(pbqu))
+    assert abs(xs[peak]) < 0.6
+    assert pbqu[-1] < pbqu[peak]

@@ -1,0 +1,82 @@
+"""Table 3 — ablation of data normalization, weight regularization,
+term dropout, and fractional sampling.
+
+For each ablated component, the pipeline runs with that feature
+disabled; the table reports solved/unsolved per problem.  The paper's
+shape: data normalization is crucial almost everywhere; weight
+regularization matters for multi-variable inequalities; dropout for
+problems with several simultaneous invariants; fractional sampling for
+ps5/ps6.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.nla import nla_problem
+from repro.infer import InferenceConfig, infer_invariants
+from repro.utils import format_table
+
+from benchmarks.conftest import full_mode
+
+_PROBLEMS_QUICK = ["ps2", "geo1"]
+_PROBLEMS_FULL = _PROBLEMS_QUICK + [
+    "divbin",
+    "mannadiv",
+    "hard",
+    "freire1",
+    "geo2",
+    "ps4",
+    "ps5",
+    "ps6",
+]
+
+_ABLATIONS = {
+    "Data Norm.": dict(data_normalization=False),
+    "Weight Reg.": dict(weight_regularization=False),
+    "Dropout": dict(term_dropout=False),
+    "Frac. Sampling": dict(fractional_sampling=False),
+    "Full Method": dict(),
+}
+
+
+def _config(**overrides) -> InferenceConfig:
+    config = InferenceConfig(
+        max_epochs=1800,
+        dropout_schedule=(0.6, 0.7, 0.5),
+    )
+    for key, value in overrides.items():
+        setattr(config, key, value)
+    return config
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_ablation(benchmark, emit):
+    problems = _PROBLEMS_FULL if full_mode() else _PROBLEMS_QUICK
+
+    def run():
+        rows = []
+        for name in problems:
+            row = [name]
+            for overrides in _ABLATIONS.values():
+                try:
+                    result = infer_invariants(
+                        nla_problem(name), _config(**overrides)
+                    )
+                    row.append("ok" if result.solved else "x")
+                except Exception:
+                    row.append("x")
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["problem", *list(_ABLATIONS)],
+            rows,
+            title=(
+                "Table 3 — ablation (each column = that feature DISABLED, "
+                "except Full Method)"
+            ),
+        )
+    )

@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harnesses.
+
+Environment knobs:
+
+* ``REPRO_BENCH_FULL=1`` — run every problem / full repetition counts
+  (matches the paper's protocol; takes over an hour on one CPU core).
+  The default uses representative subsets and reduced repetitions so
+  the whole suite finishes in tens of minutes while preserving the
+  tables' *shape*.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def full_mode() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+
+@pytest.fixture
+def emit():
+    """Print a block of table output, visible with pytest -s and in
+    benchmark summaries."""
+
+    def _emit(text: str) -> None:
+        print("\n" + text + "\n", flush=True)
+
+    return _emit

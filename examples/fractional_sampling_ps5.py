@@ -1,0 +1,49 @@
+"""Fractional sampling on a degree-5 power sum (§4.3, Fig. 8).
+
+With integer samples only, the high-order terms of ps5 dominate and the
+low-order coefficients cannot be recovered.  Relaxing the initial
+values of (x, y) to the rational domain and sampling offsets on a 0.5
+grid produces samples where all terms are on the same level, after
+which the invariant 30x = 6y^5 + 15y^4 + 10y^3 - y is learned.
+
+Usage:  python examples/fractional_sampling_ps5.py
+"""
+
+from repro.bench.nla import nla_problem
+from repro.infer import InferenceConfig, infer_invariants
+from repro.sampling import collect_traces, fractional_inputs, loop_dataset, relax_initializers
+from repro.smt import format_formula
+
+
+def main() -> None:
+    problem = nla_problem("ps5")
+
+    # Show the relaxation itself: x = 0 + x__frac, y = 0 + y__frac.
+    relaxed, names = relax_initializers(problem.program, ["x", "y"])
+    print("relaxed initializers:", names)
+    inputs = fractional_inputs([{"k": 3}], names, interval=0.5, limit=12)
+    traces = collect_traces(relaxed, inputs)
+    states = loop_dataset(traces, 0, max_states=8)
+    print("fractionally sampled loop states (note non-integer y):")
+    for state in states[:6]:
+        print("  ", {k: str(v) for k, v in state.items() if not k.endswith("__frac")})
+
+    # Full pipeline with fractional sampling (enabled by the problem).
+    result = infer_invariants(problem, InferenceConfig(max_epochs=1500))
+    print(f"\nps5 solved: {result.solved} in {result.runtime_seconds:.1f}s")
+    print("invariant:", format_formula(result.invariant(0)))
+
+    # Ablation: the same problem with fractional sampling disabled.
+    ablated = infer_invariants(
+        problem,
+        InferenceConfig(
+            max_epochs=1500,
+            fractional_sampling=False,
+            dropout_schedule=(0.6, 0.7),
+        ),
+    )
+    print(f"without fractional sampling: solved = {ablated.solved}")
+
+
+if __name__ == "__main__":
+    main()

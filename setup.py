@@ -1,0 +1,16 @@
+"""Setup shim for environments without PEP 517 wheel support."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Learning Nonlinear Loop Invariants with Gated "
+        "Continuous Logic Networks' (PLDI 2020)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "scipy"],
+)

@@ -1,0 +1,46 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+A minimal but correct substitute for the slice of PyTorch the paper
+uses: tensors with gradients, broadcasting elementwise ops, matrix
+multiplication, reductions, piecewise functions via ``where``, and the
+Adam optimizer with multiplicative learning-rate decay.  Gradients are
+verified against central finite differences in the test suite.
+"""
+
+from repro.autodiff.tensor import Tensor, no_grad
+from repro.autodiff.functional import (
+    concat,
+    exp,
+    gaussian,
+    log,
+    maximum,
+    minimum,
+    relu,
+    sigmoid,
+    sqrt,
+    tanh,
+    where,
+)
+from repro.autodiff.optim import SGD, Adam, clip_grad_norm
+from repro.autodiff.init import normal_init, uniform_init
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "concat",
+    "exp",
+    "log",
+    "sqrt",
+    "sigmoid",
+    "tanh",
+    "relu",
+    "gaussian",
+    "where",
+    "maximum",
+    "minimum",
+    "SGD",
+    "Adam",
+    "clip_grad_norm",
+    "normal_init",
+    "uniform_init",
+]

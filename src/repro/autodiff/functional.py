@@ -1,0 +1,152 @@
+"""Elementwise functions and combinators on tensors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AutodiffError
+from repro.autodiff.tensor import Tensor
+
+
+def exp(x: Tensor) -> Tensor:
+    data = np.exp(x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._push(grad * data)
+
+    return Tensor._result(data, (x,), backward)
+
+
+def log(x: Tensor) -> Tensor:
+    data = np.log(x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._push(grad / x.data)
+
+    return Tensor._result(data, (x,), backward)
+
+
+def sqrt(x: Tensor) -> Tensor:
+    data = np.sqrt(x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._push(grad * 0.5 / np.maximum(data, 1e-300))
+
+    return Tensor._result(data, (x,), backward)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    # Numerically stable logistic.
+    data = np.where(
+        x.data >= 0,
+        1.0 / (1.0 + np.exp(-np.clip(x.data, -500, 500))),
+        np.exp(np.clip(x.data, -500, 500))
+        / (1.0 + np.exp(np.clip(x.data, -500, 500))),
+    )
+
+    def backward(grad: np.ndarray) -> None:
+        x._push(grad * data * (1.0 - data))
+
+    return Tensor._result(data, (x,), backward)
+
+
+def tanh(x: Tensor) -> Tensor:
+    data = np.tanh(x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._push(grad * (1.0 - data**2))
+
+    return Tensor._result(data, (x,), backward)
+
+
+def relu(x: Tensor) -> Tensor:
+    data = np.maximum(x.data, 0.0)
+
+    def backward(grad: np.ndarray) -> None:
+        x._push(grad * (x.data > 0))
+
+    return Tensor._result(data, (x,), backward)
+
+
+def gaussian(x: Tensor, sigma: float) -> Tensor:
+    """The paper's equality relaxation ``exp(-x^2 / (2 sigma^2))`` (§4.2)."""
+    if sigma <= 0:
+        raise AutodiffError(f"sigma must be positive, got {sigma}")
+    data = np.exp(-(x.data**2) / (2.0 * sigma**2))
+
+    def backward(grad: np.ndarray) -> None:
+        x._push(grad * data * (-x.data / sigma**2))
+
+    return Tensor._result(data, (x,), backward)
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Differentiable piecewise selection; ``condition`` is data, not a node."""
+    cond = np.asarray(condition, dtype=bool)
+    data = np.where(cond, a.data, b.data)
+
+    def backward(grad: np.ndarray) -> None:
+        g = np.asarray(grad, dtype=np.float64)
+        a._push(np.where(cond, g, 0.0))
+        b._push(np.where(cond, 0.0, g))
+
+    return Tensor._result(data, (a, b), backward)
+
+
+def maximum(a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise max; ties send the gradient to the first argument."""
+    data = np.maximum(a.data, b.data)
+
+    def backward(grad: np.ndarray) -> None:
+        g = np.asarray(grad, dtype=np.float64)
+        take_a = a.data >= b.data
+        a._push(np.where(take_a, g, 0.0))
+        b._push(np.where(take_a, 0.0, g))
+
+    return Tensor._result(data, (a, b), backward)
+
+
+def minimum(a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise min; ties send the gradient to the first argument."""
+    data = np.minimum(a.data, b.data)
+
+    def backward(grad: np.ndarray) -> None:
+        g = np.asarray(grad, dtype=np.float64)
+        take_a = a.data <= b.data
+        a._push(np.where(take_a, g, 0.0))
+        b._push(np.where(take_a, 0.0, g))
+
+    return Tensor._result(data, (a, b), backward)
+
+
+def concat(tensors: list[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis``."""
+    if not tensors:
+        raise AutodiffError("concat needs at least one tensor")
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+
+    def backward(grad: np.ndarray) -> None:
+        g = np.asarray(grad, dtype=np.float64)
+        offset = 0
+        for tensor, size in zip(tensors, sizes):
+            index = [slice(None)] * g.ndim
+            index[axis] = slice(offset, offset + size)
+            tensor._push(g[tuple(index)])
+            offset += size
+
+    return Tensor._result(data, tuple(tensors), backward)
+
+
+def stack(tensors: list[Tensor], axis: int = 0) -> Tensor:
+    """Stack same-shape tensors along a new axis."""
+    if not tensors:
+        raise AutodiffError("stack needs at least one tensor")
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        g = np.asarray(grad, dtype=np.float64)
+        for i, tensor in enumerate(tensors):
+            tensor._push(np.take(g, i, axis=axis))
+
+    return Tensor._result(data, tuple(tensors), backward)

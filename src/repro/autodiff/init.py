@@ -1,0 +1,27 @@
+"""Parameter initialization helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+
+
+def normal_init(
+    shape: tuple[int, ...],
+    rng: np.random.Generator,
+    std: float = 1.0,
+    mean: float = 0.0,
+) -> Tensor:
+    """Gaussian-initialized trainable tensor."""
+    return Tensor(rng.normal(mean, std, size=shape), requires_grad=True)
+
+
+def uniform_init(
+    shape: tuple[int, ...],
+    rng: np.random.Generator,
+    low: float = -1.0,
+    high: float = 1.0,
+) -> Tensor:
+    """Uniform-initialized trainable tensor."""
+    return Tensor(rng.uniform(low, high, size=shape), requires_grad=True)

@@ -1,0 +1,24 @@
+"""Baseline systems reimplemented for comparison (Table 2 / Table 4).
+
+* ``guess_and_check`` — exact polynomial-kernel nullspace equality
+  learner [Sharma et al. 2013], the core of NumInv's equality engine.
+* ``octahedral`` — octahedral (±x ±y <= c) inequality inference,
+  NumInv's inequality domain [Nguyen et al. 2017].
+* ``plain_cln`` — template-based ungated CLN (CLN2INV [30]), used as
+  the stability baseline in Table 4.
+* ``enumerative`` — a PIE-style enumerative template search with a
+  budget, which times out on nonlinear problems as in Table 2.
+"""
+
+from repro.baselines.guess_and_check import guess_and_check_equalities
+from repro.baselines.octahedral import octahedral_inequalities
+from repro.baselines.plain_cln import PlainCLN, train_plain_cln
+from repro.baselines.enumerative import enumerative_search
+
+__all__ = [
+    "guess_and_check_equalities",
+    "octahedral_inequalities",
+    "PlainCLN",
+    "train_plain_cln",
+    "enumerative_search",
+]

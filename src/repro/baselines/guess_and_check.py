@@ -1,0 +1,44 @@
+"""Guess-and-Check polynomial equality learning [Sharma et al. 2013].
+
+Evaluates all candidate monomials on the samples (the "polynomial
+kernel") and computes the exact rational nullspace of the data matrix:
+every nullspace vector is an equality satisfied by all samples.  This
+is the equality core of NumInv and the natural exact baseline for the
+G-CLN's gradient-based equality learning; it cannot learn disjunctions
+or inequalities (§7 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.poly.nullspace import rational_nullspace
+from repro.sampling.termgen import TermBasis, evaluate_terms_exact
+from repro.smt.formula import Atom
+
+
+def guess_and_check_equalities(
+    states: Sequence[Mapping[str, object]],
+    basis: TermBasis,
+    max_invariants: int = 20,
+) -> list[Atom]:
+    """Equality atoms spanning all polynomial relations on the samples.
+
+    Args:
+        states: loop-head states.
+        basis: candidate term basis.
+        max_invariants: cap on returned atoms (nullspace can be large
+            when samples are few).
+
+    Returns:
+        One ``== 0`` atom per nullspace basis vector, primitive-scaled.
+    """
+    rows = evaluate_terms_exact(states, basis)
+    vectors = rational_nullspace(rows)
+    atoms: list[Atom] = []
+    for vec in vectors[:max_invariants]:
+        poly = basis.polynomial(vec)
+        if poly.is_zero() or poly.is_constant():
+            continue
+        atoms.append(Atom(poly.primitive(), "=="))
+    return atoms

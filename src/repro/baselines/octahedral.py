@@ -1,0 +1,60 @@
+"""Octahedral inequality inference (NumInv's inequality domain).
+
+NumInv infers bounds of the octahedral form ``±x ±y <= c`` over program
+variables — it "does not infer the nonlinear and 3 variable
+inequalities in the benchmark" (§6.1 of the paper).  This baseline
+computes the tightest such bounds holding on the samples, which is what
+the paper's comparison column reflects.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import combinations
+from typing import Mapping, Sequence
+
+from repro.poly.monomial import Monomial
+from repro.poly.polynomial import Polynomial
+from repro.smt.formula import Atom
+
+
+def octahedral_inequalities(
+    states: Sequence[Mapping[str, object]],
+    variables: Sequence[str],
+) -> list[Atom]:
+    """Tightest octahedral bounds ``±x <= c`` and ``±x ±y <= c``.
+
+    Returns atoms of the form ``c - (±x ±y) >= 0`` with ``c`` the exact
+    maximum of the left side over the samples (so every bound is tight
+    by construction).
+    """
+    atoms: list[Atom] = []
+    if not states:
+        return atoms
+
+    def bound_of(expr_terms: dict[str, int]) -> Fraction:
+        best: Fraction | None = None
+        for state in states:
+            value = Fraction(0)
+            for var, sign in expr_terms.items():
+                value += sign * Fraction(state[var])
+            if best is None or value > best:
+                best = value
+        assert best is not None
+        return best
+
+    def make_atom(expr_terms: dict[str, int]) -> Atom:
+        c = bound_of(expr_terms)
+        poly = Polynomial.constant(c)
+        for var, sign in expr_terms.items():
+            poly = poly - Polynomial({Monomial.var(var): Fraction(sign)})
+        return Atom(poly.primitive(preserve_sign=True), ">=")
+
+    for var in variables:
+        atoms.append(make_atom({var: 1}))
+        atoms.append(make_atom({var: -1}))
+    for a, b in combinations(variables, 2):
+        for sa in (1, -1):
+            for sb in (1, -1):
+                atoms.append(make_atom({a: sa, b: sb}))
+    return atoms

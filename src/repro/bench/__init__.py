@@ -1,0 +1,21 @@
+"""Benchmark problem definitions.
+
+* ``nla`` — the 27 nonlinear problems of Table 2 (NLA suite [22]),
+  transcribed into the mini language with documented ground-truth
+  invariants.
+* ``code2inv`` — a generated suite of 124 linear-invariant problems
+  standing in for the Code2Inv benchmark (§6.4; see DESIGN.md for the
+  substitution rationale).
+* ``stability`` — the six problems of the Table 4 stability study.
+"""
+
+from repro.bench.nla import NLA_PROBLEMS, nla_problem
+from repro.bench.code2inv import code2inv_problems
+from repro.bench.stability import stability_problems
+
+__all__ = [
+    "NLA_PROBLEMS",
+    "nla_problem",
+    "code2inv_problems",
+    "stability_problems",
+]

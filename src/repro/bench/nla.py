@@ -1,0 +1,646 @@
+"""The 27 NLA benchmark problems (Table 2 of the paper).
+
+Each problem is transcribed from the NLA suite [Nguyen et al. 2012]
+into the mini language, with the documented polynomial invariants as
+ground truth.  Input spaces are chosen so loops terminate in at most a
+few dozen iterations (the paper samples a bounded input range too).
+
+``nla_problem(name)`` builds a fresh :class:`~repro.infer.Problem`;
+``NLA_PROBLEMS`` lists the names in Table 2 order with the paper's
+degree / #vars metadata.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.infer.problem import Problem
+from repro.sampling.termgen import ExternalTerm
+
+
+@dataclass(frozen=True)
+class NLAEntry:
+    """Metadata for one Table 2 row."""
+
+    name: str
+    degree: int
+    n_vars: int
+    expected_solved: bool  # the paper's G-CLN column (knuth fails)
+
+
+NLA_PROBLEMS: list[NLAEntry] = [
+    NLAEntry("divbin", 2, 5, True),
+    NLAEntry("cohendiv", 2, 6, True),
+    NLAEntry("mannadiv", 2, 5, True),
+    NLAEntry("hard", 2, 6, True),
+    NLAEntry("sqrt1", 2, 4, True),
+    NLAEntry("dijkstra", 2, 5, True),
+    NLAEntry("cohencu", 3, 5, True),
+    NLAEntry("egcd", 2, 8, True),
+    NLAEntry("egcd2", 2, 11, True),
+    NLAEntry("egcd3", 2, 13, True),
+    NLAEntry("prodbin", 2, 5, True),
+    NLAEntry("prod4br", 3, 6, True),
+    NLAEntry("fermat1", 2, 5, True),
+    NLAEntry("fermat2", 2, 5, True),
+    NLAEntry("freire1", 2, 3, True),
+    NLAEntry("freire2", 3, 4, True),
+    NLAEntry("knuth", 3, 8, False),
+    NLAEntry("lcm1", 2, 6, True),
+    NLAEntry("lcm2", 2, 6, True),
+    NLAEntry("geo1", 2, 5, True),
+    NLAEntry("geo2", 2, 5, True),
+    NLAEntry("geo3", 3, 6, True),
+    NLAEntry("ps2", 2, 4, True),
+    NLAEntry("ps3", 3, 4, True),
+    NLAEntry("ps4", 4, 4, True),
+    NLAEntry("ps5", 5, 4, True),
+    NLAEntry("ps6", 6, 4, True),
+]
+
+
+def _grid(**ranges) -> list[dict[str, object]]:
+    """Cartesian product of named ranges as input assignments."""
+    names = list(ranges)
+    out: list[dict[str, object]] = [{}]
+    for name in names:
+        out = [dict(d, **{name: v}) for d in out for v in ranges[name]]
+    return out
+
+
+def _isqrt_pairs(values: list[int]) -> list[dict[str, object]]:
+    """(N, R) pairs with R = ceil(sqrt(N)) for the fermat programs."""
+    pairs = []
+    for n in values:
+        r = math.isqrt(n)
+        if r * r < n:
+            r += 1
+        pairs.append({"N": n, "R": r})
+    return pairs
+
+
+_SOURCES: dict[str, str] = {
+    "divbin": """
+program divbin;
+input A, B;
+assume (A > 0);
+assume (B > 0);
+q = 0; r = A; b = B;
+while (r >= b) { b = 2 * b; }
+while (b != B) {
+  q = 2 * q; b = b / 2;
+  if (r >= b) { q = q + 1; r = r - b; }
+}
+assert (A == q * B + r);
+""",
+    "cohendiv": """
+program cohendiv;
+input x, y;
+assume (x > 0);
+assume (y > 0);
+q = 0; r = x; a = 0; b = 0;
+while (r >= y) {
+  a = 1; b = y;
+  while (r >= 2 * b) { a = 2 * a; b = 2 * b; }
+  r = r - b; q = q + a;
+}
+assert (x == q * y + r);
+""",
+    "mannadiv": """
+program mannadiv;
+input A, B;
+assume (A >= 0);
+assume (B >= 1);
+y1 = 0; y2 = 0; y3 = A;
+while (y3 != 0) {
+  if (y2 + 1 == B) { y1 = y1 + 1; y2 = 0; y3 = y3 - 1; }
+  else { y2 = y2 + 1; y3 = y3 - 1; }
+}
+assert (A == y1 * B + y2);
+""",
+    "hard": """
+program hard;
+input A, B;
+assume (A >= 0);
+assume (B >= 1);
+r = A; d = B; p = 1; q = 0;
+while (r >= d) { d = 2 * d; p = 2 * p; }
+while (p != 1) {
+  d = d / 2; p = p / 2;
+  if (r >= d) { r = r - d; q = q + p; }
+}
+assert (A == q * B + r);
+""",
+    "sqrt1": """
+program sqrt1;
+input n;
+assume (n >= 0);
+a = 0; s = 1; t = 1;
+while (s <= n) { a = a + 1; t = t + 2; s = s + t; }
+assert (a * a <= n);
+assert (n < (a + 1) * (a + 1));
+""",
+    "dijkstra": """
+program dijkstra;
+input n;
+assume (n >= 0);
+p = 0; q = 1; r = n; h = 0;
+while (q <= n) { q = 4 * q; }
+while (q != 1) {
+  q = q / 4; h = p + q; p = p / 2;
+  if (r >= h) { p = p + q; r = r - h; }
+}
+assert (p * p <= n);
+assert (n < (p + 1) * (p + 1));
+""",
+    "cohencu": """
+program cohencu;
+input a;
+assume (a >= 0);
+n = 0; x = 0; y = 1; z = 6;
+while (n != a) { n = n + 1; x = x + y; y = y + z; z = z + 6; }
+assert (x == a * a * a);
+""",
+    "egcd": """
+program egcd;
+input x, y;
+assume (x >= 1);
+assume (y >= 1);
+a = x; b = y; p = 1; q = 0; r = 0; s = 1;
+while (a != b) {
+  if (a > b) { a = a - b; p = p - q; r = r - s; }
+  else { b = b - a; q = q - p; s = s - r; }
+}
+assert (a == gcd(x, y));
+""",
+    "egcd2": """
+program egcd2;
+input x, y;
+assume (x >= 1);
+assume (y >= 1);
+a = x; b = y; p = 1; q = 0; r = 0; s = 1; c = 0; k = 0;
+while (b != 0) {
+  c = a; k = 0;
+  while (c >= b) { c = c - b; k = k + 1; }
+  a = b; b = c;
+  temp = p; p = q; q = temp - q * k;
+  temp = r; r = s; s = temp - s * k;
+}
+assert (a == gcd(x, y));
+""",
+    "egcd3": """
+program egcd3;
+input x, y;
+assume (x >= 1);
+assume (y >= 1);
+a = x; b = y; p = 1; q = 0; r = 0; s = 1; c = 0; k = 0; d = 0; v = 0;
+while (b != 0) {
+  c = a; k = 0;
+  while (c >= b) {
+    d = 1; v = b;
+    while (c >= 2 * v) { d = 2 * d; v = 2 * v; }
+    c = c - v; k = k + d;
+  }
+  a = b; b = c;
+  temp = p; p = q; q = temp - q * k;
+  temp = r; r = s; s = temp - s * k;
+}
+assert (a == gcd(x, y));
+""",
+    "prodbin": """
+program prodbin;
+input a, b;
+assume (a >= 0);
+assume (b >= 0);
+x = a; y = b; z = 0;
+while (y != 0) {
+  if (mod(y, 2) == 1) { z = z + x; y = y - 1; }
+  x = 2 * x; y = y / 2;
+}
+assert (z == a * b);
+""",
+    "prod4br": """
+program prod4br;
+input x, y;
+assume (x >= 0);
+assume (y >= 0);
+a = x; b = y; p = 1; q = 0;
+while (a != 0 && b != 0) {
+  if (mod(a, 2) == 0 && mod(b, 2) == 0) { a = a / 2; b = b / 2; p = 4 * p; }
+  else { if (mod(a, 2) == 1 && mod(b, 2) == 0) { a = a - 1; q = q + b * p; }
+  else { if (mod(a, 2) == 0 && mod(b, 2) == 1) { b = b - 1; q = q + a * p; }
+  else { a = a - 1; b = b - 1; q = q + (a + b + 1) * p; } } }
+}
+assert (q + a * b * p == x * y);
+""",
+    "fermat1": """
+program fermat1;
+input N, R;
+assume (N >= 1);
+assume (R * R >= N);
+assume ((R - 1) * (R - 1) < N);
+assume (mod(N, 2) == 1);
+u = 2 * R + 1; v = 1; r = R * R - N;
+while (r != 0) {
+  while (r > 0) { r = r - v; v = v + 2; }
+  while (r < 0) { r = r + u; u = u + 2; }
+}
+assert (4 * N == u * u - v * v - 2 * u + 2 * v);
+""",
+    "fermat2": """
+program fermat2;
+input N, R;
+assume (N >= 1);
+assume (R * R >= N);
+assume ((R - 1) * (R - 1) < N);
+assume (mod(N, 2) == 1);
+u = 2 * R + 1; v = 1; r = R * R - N;
+while (r != 0) {
+  if (r > 0) { r = r - v; v = v + 2; }
+  else { r = r + u; u = u + 2; }
+}
+assert (4 * N == u * u - v * v - 2 * u + 2 * v);
+""",
+    "freire1": """
+program freire1;
+input a;
+assume (a >= 0);
+x = a / 2; r = 0;
+while (x > r) { x = x - r; r = r + 1; }
+""",
+    "freire2": """
+program freire2;
+input a;
+assume (a >= 1);
+x = a; r = 1; s = 13 / 4;
+while (x - s > 0) { x = x - s; s = s + 6 * r + 3; r = r + 1; }
+""",
+    "knuth": """
+program knuth;
+input n, a, s;
+assume (n >= 9);
+assume (mod(n, 2) == 1);
+assume (s * s <= n);
+assume ((s + 1) * (s + 1) > n);
+assume (a >= 3);
+assume (mod(a, 2) == 1);
+d = a; r = mod(n, d); t = 0; k = mod(n, d - 2);
+q = 4 * (div(n, d - 2) - div(n, d));
+while (s >= d && r != 0) {
+  if (2 * r - k + q < 0) {
+    t = r; r = 2 * r - k + q + d + 2; k = t; q = q + 4; d = d + 2;
+  } else { if (2 * r - k + q >= 0 && 2 * r - k + q < d + 2) {
+    t = r; r = 2 * r - k + q; k = t; d = d + 2;
+  } else { if (2 * r - k + q >= 0 && 2 * r - k + q >= d + 2 && 2 * r - k + q < 2 * d + 4) {
+    t = r; r = 2 * r - k + q - d - 2; k = t; q = q - 4; d = d + 2;
+  } else {
+    t = r; r = 2 * r - k + q - 2 * d - 4; k = t; q = q - 8; d = d + 2;
+  } } }
+}
+""",
+    "lcm1": """
+program lcm1;
+input x, y;
+assume (x >= 1);
+assume (y >= 1);
+a = x; b = y; u = b; v = 0;
+while (a != b) {
+  while (a > b) { a = a - b; v = v + u; }
+  while (b > a) { b = b - a; u = u + v; }
+}
+assert (gcd(x, y) * (u + v) == x * y);
+""",
+    "lcm2": """
+program lcm2;
+input x, y;
+assume (x >= 1);
+assume (y >= 1);
+a = x; b = y; u = b; v = a;
+while (a != b) {
+  if (a > b) { a = a - b; v = v + u; }
+  else { b = b - a; u = u + v; }
+}
+assert (gcd(x, y) * (u + v) == 2 * x * y);
+""",
+    "geo1": """
+program geo1;
+input z, k;
+assume (z >= 2);
+assume (k >= 1);
+x = 1; y = 1; c = 1;
+while (c < k) { c = c + 1; x = x * z + 1; y = y * z; }
+assert (x * z - x - y * z + 1 == 0);
+""",
+    "geo2": """
+program geo2;
+input z, k;
+assume (z >= 2);
+assume (k >= 1);
+x = 1; y = 1; c = 1;
+while (c < k) { c = c + 1; x = x + y; y = y * z; }
+assert (x * z - x - y - z + 2 == 0);
+""",
+    "geo3": """
+program geo3;
+input z, k, b;
+assume (z >= 2);
+assume (k >= 1);
+assume (b >= 1);
+x = b; y = 1; c = 1;
+while (c < k) { c = c + 1; x = x * z + b; y = y * z; }
+assert (x * z - x + b - b * y * z == 0);
+""",
+    "ps2": """
+program ps2;
+input k;
+assume (k >= 0);
+x = 0; y = 0;
+while (y < k) { y = y + 1; x = x + y; }
+assert (2 * x == y * y + y);
+""",
+    "ps3": """
+program ps3;
+input k;
+assume (k >= 0);
+x = 0; y = 0;
+while (y < k) { y = y + 1; x = x + y * y; }
+assert (6 * x == 2 * y * y * y + 3 * y * y + y);
+""",
+    "ps4": """
+program ps4;
+input k;
+assume (k >= 0);
+x = 0; y = 0;
+while (y < k) { y = y + 1; x = x + y * y * y; }
+assert (4 * x == y * y * y * y + 2 * y * y * y + y * y);
+""",
+    "ps5": """
+program ps5;
+input k;
+assume (k >= 0);
+x = 0; y = 0;
+while (y < k) { y = y + 1; x = x + y * y * y * y; }
+assert (30 * x == 6 * y * y * y * y * y + 15 * y * y * y * y + 10 * y * y * y - y);
+""",
+    "ps6": """
+program ps6;
+input k;
+assume (k >= 0);
+x = 0; y = 0;
+while (y < k) { y = y + 1; x = x + y * y * y * y * y; }
+assert (12 * x == 2 * y * y * y * y * y * y + 6 * y * y * y * y * y + 5 * y * y * y * y - y * y);
+""",
+}
+
+
+def _problem_spec(name: str) -> dict:
+    """Per-problem inputs, ground truth, and learning options."""
+    odd = [v for v in range(9, 60, 2)]
+    specs: dict[str, dict] = {
+        "divbin": dict(
+            train_inputs=_grid(A=list(range(1, 25)), B=[1, 2, 3, 5, 7]),
+            check_inputs=_grid(A=list(range(1, 60, 3)), B=[1, 2, 3, 4, 5, 6, 7]),
+            ground_truth={
+                0: ["q == 0", "r == A"],
+                1: ["A == q * b + r"],
+            },
+        ),
+        "cohendiv": dict(
+            train_inputs=_grid(x=list(range(1, 25)), y=[1, 2, 3, 5, 7]),
+            check_inputs=_grid(x=list(range(1, 60, 3)), y=[1, 2, 3, 4, 5, 7]),
+            ground_truth={
+                0: ["x == q * y + r"],
+                1: ["b == y * a", "x == q * y + r"],
+            },
+        ),
+        "mannadiv": dict(
+            train_inputs=_grid(A=list(range(0, 25)), B=[1, 2, 3, 5, 7]),
+            check_inputs=_grid(A=list(range(0, 60, 3)), B=[1, 2, 3, 4, 5, 7]),
+            ground_truth={0: ["y1 * B + y2 + y3 == A"]},
+        ),
+        "hard": dict(
+            train_inputs=_grid(A=list(range(0, 25)), B=[1, 2, 3, 5, 7]),
+            check_inputs=_grid(A=list(range(0, 60, 3)), B=[1, 2, 3, 4, 5, 7]),
+            ground_truth={
+                0: ["d == B * p", "q == 0", "r == A"],
+                1: ["d == B * p", "A == q * B + r"],
+            },
+        ),
+        "sqrt1": dict(
+            train_inputs=_grid(n=list(range(0, 32))),
+            check_inputs=_grid(n=list(range(0, 120, 2))),
+            learn_inequalities=True,
+            ground_truth={
+                0: ["t == 2 * a + 1", "s == (a + 1) * (a + 1)", "n >= a * a"]
+            },
+        ),
+        "dijkstra": dict(
+            train_inputs=_grid(n=list(range(0, 40))),
+            check_inputs=_grid(n=list(range(0, 150, 3))),
+            ground_truth={
+                0: ["p == 0", "r == n"],
+                1: ["p * p + q * r == n * q"],
+            },
+        ),
+        "cohencu": dict(
+            train_inputs=_grid(a=list(range(0, 25))),
+            check_inputs=_grid(a=list(range(0, 60, 2))),
+            max_degree=3,
+            ground_truth={
+                0: [
+                    "x == n * n * n",
+                    "y == 3 * n * n + 3 * n + 1",
+                    "z == 6 * n + 6",
+                ]
+            },
+        ),
+        "egcd": dict(
+            train_inputs=_grid(x=list(range(1, 13)), y=list(range(1, 13))),
+            check_inputs=_grid(x=list(range(1, 25, 2)), y=list(range(1, 25, 2))),
+            ground_truth={0: ["a == x * p + y * r", "b == x * q + y * s"]},
+        ),
+        "egcd2": dict(
+            train_inputs=_grid(x=list(range(1, 13)), y=list(range(1, 13))),
+            check_inputs=_grid(x=list(range(1, 25, 2)), y=list(range(1, 25, 2))),
+            externals=[
+                ExternalTerm("gcd", ("a", "b")),
+                ExternalTerm("gcd", ("x", "y")),
+            ],
+            ground_truth={
+                0: [
+                    "a == x * p + y * r",
+                    "b == x * q + y * s",
+                ],
+                1: ["a == c + b * k", "a == x * p + y * r"],
+            },
+        ),
+        "egcd3": dict(
+            train_inputs=_grid(x=list(range(1, 11)), y=list(range(1, 11))),
+            check_inputs=_grid(x=list(range(1, 21, 2)), y=list(range(1, 21, 2))),
+            externals=[
+                ExternalTerm("gcd", ("a", "b")),
+                ExternalTerm("gcd", ("x", "y")),
+            ],
+            ground_truth={
+                0: ["a == x * p + y * r", "b == x * q + y * s"],
+                1: ["a == c + b * k"],
+                2: ["v == b * d", "a == c + b * k"],
+            },
+        ),
+        "prodbin": dict(
+            train_inputs=_grid(a=list(range(0, 12)), b=list(range(0, 12))),
+            check_inputs=_grid(a=list(range(0, 30, 2)), b=list(range(0, 30, 2))),
+            ground_truth={0: ["z + x * y == a * b"]},
+        ),
+        "prod4br": dict(
+            train_inputs=_grid(x=list(range(0, 10)), y=list(range(0, 10))),
+            check_inputs=_grid(x=list(range(0, 25, 2)), y=list(range(0, 25, 2))),
+            max_degree=3,
+            ground_truth={0: ["q + a * b * p == x * y"]},
+        ),
+        "fermat1": dict(
+            train_inputs=_isqrt_pairs(odd[:20]),
+            check_inputs=_isqrt_pairs(odd),
+            ground_truth={
+                0: ["4 * N + 4 * r == u * u - v * v - 2 * u + 2 * v"],
+                1: ["4 * N + 4 * r == u * u - v * v - 2 * u + 2 * v"],
+                2: ["4 * N + 4 * r == u * u - v * v - 2 * u + 2 * v"],
+            },
+        ),
+        "fermat2": dict(
+            train_inputs=_isqrt_pairs(odd[:20]),
+            check_inputs=_isqrt_pairs(odd),
+            ground_truth={
+                0: ["4 * N + 4 * r == u * u - v * v - 2 * u + 2 * v"]
+            },
+        ),
+        "freire1": dict(
+            train_inputs=_grid(a=list(range(0, 40))),
+            check_inputs=_grid(a=list(range(0, 100, 2))),
+            ground_truth={0: ["2 * x + r * r - r == a"]},
+        ),
+        "freire2": dict(
+            train_inputs=_grid(a=list(range(1, 40))),
+            check_inputs=_grid(a=list(range(1, 100, 2))),
+            max_degree=3,
+            ground_truth={
+                0: [
+                    "4 * s == 12 * r * r + 1",
+                    "4 * r * r * r - 6 * r * r + 3 * r + 4 * x == 4 * a + 1",
+                ]
+            },
+        ),
+        "knuth": dict(
+            train_inputs=[
+                {"n": n, "a": 3, "s": math.isqrt(n)} for n in odd[:20]
+            ],
+            check_inputs=[
+                {"n": n, "a": 3, "s": math.isqrt(n)} for n in odd
+            ],
+            max_degree=3,
+            ground_truth={
+                0: [
+                    "d * d * q - 4 * r * d + 4 * k * d - 2 * q * d + 8 * r == 8 * n"
+                ]
+            },
+        ),
+        "lcm1": dict(
+            train_inputs=_grid(x=list(range(1, 13)), y=list(range(1, 13))),
+            check_inputs=_grid(x=list(range(1, 25, 2)), y=list(range(1, 25, 2))),
+            externals=[
+                ExternalTerm("gcd", ("a", "b")),
+                ExternalTerm("gcd", ("x", "y")),
+            ],
+            ground_truth={
+                0: ["a * u + b * v == x * y", "gcd(a, b) == gcd(x, y)"],
+                1: ["a * u + b * v == x * y", "gcd(a, b) == gcd(x, y)"],
+                2: ["a * u + b * v == x * y", "gcd(a, b) == gcd(x, y)"],
+            },
+        ),
+        "lcm2": dict(
+            train_inputs=_grid(x=list(range(1, 13)), y=list(range(1, 13))),
+            check_inputs=_grid(x=list(range(1, 25, 2)), y=list(range(1, 25, 2))),
+            externals=[
+                ExternalTerm("gcd", ("a", "b")),
+                ExternalTerm("gcd", ("x", "y")),
+            ],
+            ground_truth={
+                0: ["a * u + b * v == 2 * x * y", "gcd(a, b) == gcd(x, y)"]
+            },
+        ),
+        "geo1": dict(
+            train_inputs=_grid(z=[2, 3, 4, 5], k=list(range(1, 9))),
+            check_inputs=_grid(z=[2, 3, 4, 5, 6], k=list(range(1, 11))),
+            ground_truth={0: ["x * z - x - y * z + 1 == 0"]},
+        ),
+        "geo2": dict(
+            train_inputs=_grid(z=[2, 3, 4, 5], k=list(range(1, 9))),
+            check_inputs=_grid(z=[2, 3, 4, 5, 6], k=list(range(1, 11))),
+            ground_truth={0: ["x * z - x - y - z + 2 == 0"]},
+        ),
+        "geo3": dict(
+            train_inputs=_grid(z=[2, 3, 4], k=list(range(1, 7)), b=[1, 2, 3]),
+            check_inputs=_grid(z=[2, 3, 4, 5], k=list(range(1, 9)), b=[1, 2, 3, 4]),
+            max_degree=3,
+            ground_truth={0: ["x * z - x + b - b * y * z == 0"]},
+        ),
+        "ps2": dict(
+            train_inputs=_grid(k=list(range(0, 25))),
+            check_inputs=_grid(k=list(range(0, 60, 2))),
+            ground_truth={0: ["2 * x == y * y + y", "k >= y"]},
+            learn_inequalities=True,
+        ),
+        "ps3": dict(
+            train_inputs=_grid(k=list(range(0, 25))),
+            check_inputs=_grid(k=list(range(0, 60, 2))),
+            max_degree=3,
+            ground_truth={0: ["6 * x == 2 * y * y * y + 3 * y * y + y"]},
+        ),
+        "ps4": dict(
+            train_inputs=_grid(k=list(range(0, 25))),
+            check_inputs=_grid(k=list(range(0, 60, 2))),
+            max_degree=4,
+            ground_truth={
+                0: ["4 * x == y * y * y * y + 2 * y * y * y + y * y"]
+            },
+        ),
+        "ps5": dict(
+            train_inputs=_grid(k=list(range(0, 22))),
+            check_inputs=_grid(k=list(range(0, 60, 2))),
+            max_degree=5,
+            fractional=True,
+            fractional_vars=["x", "y"],
+            variables={0: ["x", "y"]},
+            ground_truth={
+                0: [
+                    "30 * x == 6*y*y*y*y*y + 15*y*y*y*y + 10*y*y*y - y"
+                ]
+            },
+        ),
+        "ps6": dict(
+            train_inputs=_grid(k=list(range(0, 22))),
+            check_inputs=_grid(k=list(range(0, 60, 2))),
+            max_degree=6,
+            fractional=True,
+            fractional_vars=["x", "y"],
+            variables={0: ["x", "y"]},
+            ground_truth={
+                0: [
+                    "12 * x == 2*y*y*y*y*y*y + 6*y*y*y*y*y + 5*y*y*y*y - y*y"
+                ]
+            },
+        ),
+    }
+    if name not in specs:
+        raise ReproError(f"unknown NLA problem {name!r}")
+    return specs[name]
+
+
+def nla_problem(name: str) -> Problem:
+    """Build the named NLA problem."""
+    if name not in _SOURCES:
+        raise ReproError(f"unknown NLA problem {name!r}")
+    spec = _problem_spec(name)
+    return Problem(name=name, source=_SOURCES[name], **spec)

@@ -1,0 +1,108 @@
+"""The six stability-study problems (Table 4 of the paper).
+
+Each problem provides a program, training inputs, and the target
+invariant; the stability bench trains a single model (no retries) 20
+times with randomized initialization and reports the convergence rate
+for the plain CLN baseline vs. the G-CLN.
+"""
+
+from __future__ import annotations
+
+from repro.infer.problem import Problem
+
+
+def _conj_eq() -> Problem:
+    """Conjunction of two linear equalities (the [30] Conj Eq example)."""
+    source = """
+program conj_eq;
+input k;
+assume (k >= 0);
+i = 0; x = 0; y = 0;
+while (i < k) { i = i + 1; x = x + 2; y = y + 3; }
+assert (3 * x == 2 * y);
+"""
+    return Problem(
+        name="conj_eq",
+        source=source,
+        train_inputs=[{"k": v} for v in range(0, 20)],
+        max_degree=1,
+        ground_truth={0: ["x == 2 * i", "y == 3 * i"]},
+    )
+
+
+def _disj_eq() -> Problem:
+    """Disjunction (x - y = 0) || (x + y = 0) (the [30] Disj Eq example)."""
+    source = """
+program disj_eq;
+input c, flag;
+assume (flag >= 0);
+assume (flag <= 1);
+assume (c >= 1);
+x = c; y = c;
+if (flag == 1) { y = 0 - c; }
+i = 0;
+while (i < 8) { i = i + 1; x = 2 * x; y = 2 * y; }
+assert ((x - y) * (x + y) == 0);
+"""
+    return Problem(
+        name="disj_eq",
+        source=source,
+        train_inputs=[
+            {"c": c, "flag": f} for c in range(1, 11) for f in (0, 1)
+        ],
+        max_degree=1,
+        variables={0: ["x", "y"]},
+        ground_truth={},
+    )
+
+
+def _code2inv_1() -> Problem:
+    """Linear problem shaped like Code2Inv #1 (x/y counters to a bound)."""
+    source = """
+program code2inv_1;
+input n;
+assume (n >= 0);
+x = 1; y = 0;
+while (y < n) { x = x + y; y = y + 1; }
+assert (2 * x == y * y - y + 2);
+"""
+    return Problem(
+        name="code2inv_1",
+        source=source,
+        train_inputs=[{"n": v} for v in range(0, 24)],
+        max_degree=2,
+        ground_truth={0: ["2 * x == y * y - y + 2"]},
+    )
+
+
+def _code2inv_11() -> Problem:
+    """Linear problem shaped like Code2Inv #11 (coupled counters)."""
+    source = """
+program code2inv_11;
+input n;
+assume (n >= 0);
+i = 0; j = n; k = 0;
+while (i < n) { i = i + 1; j = j - 1; k = k + 2; }
+assert (i + j == n);
+"""
+    return Problem(
+        name="code2inv_11",
+        source=source,
+        train_inputs=[{"n": v} for v in range(0, 24)],
+        max_degree=1,
+        ground_truth={0: ["i + j == n", "k == 2 * i"]},
+    )
+
+
+def stability_problems() -> dict[str, Problem]:
+    """The Table 4 problems, keyed by the paper's row labels."""
+    from repro.bench.nla import nla_problem
+
+    return {
+        "Conj Eq": _conj_eq(),
+        "Disj Eq": _disj_eq(),
+        "Code2Inv 1": _code2inv_1(),
+        "Code2Inv 11": _code2inv_11(),
+        "ps2": nla_problem("ps2"),
+        "ps3": nla_problem("ps3"),
+    }

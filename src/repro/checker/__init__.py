@@ -1,0 +1,25 @@
+"""Invariant checking — the Z3 substitute.
+
+Given a candidate invariant for a loop, the checker discharges the
+three Hoare verification conditions (§2.1):
+
+    P ⇒ I        {I ∧ LC} C {I}        I ∧ ¬LC ⇒ Q
+
+with a hybrid strategy: exact symbolic checking for polynomial equality
+inductiveness (sound), and bounded/randomized checking with
+counterexample extraction for everything else (sound up to sampling;
+counterexamples feed the paper's CEGIS retraining loop).
+"""
+
+from repro.checker.result import CheckOutcome, CheckReport
+from repro.checker.symbolic import equality_inductive_symbolic
+from repro.checker.bounded import BoundedChecker
+from repro.checker.vc import InvariantChecker
+
+__all__ = [
+    "CheckOutcome",
+    "CheckReport",
+    "equality_inductive_symbolic",
+    "BoundedChecker",
+    "InvariantChecker",
+]

@@ -1,0 +1,40 @@
+"""Check outcomes and reports."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class CheckOutcome(enum.Enum):
+    """Verdict for one verification condition or a whole check."""
+
+    VALID = "valid"
+    INVALID = "invalid"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class CheckReport:
+    """Result of checking a candidate invariant.
+
+    Attributes:
+        outcome: overall verdict (VALID only when every VC passed).
+        precondition: verdict for ``P ⇒ I``.
+        inductive: verdict for ``{I ∧ LC} C {I}``.
+        postcondition: verdict for ``I ∧ ¬LC ⇒ Q``.
+        counterexamples: states witnessing a failed VC; these are fed
+            back into training (the paper's CEGIS loop).
+        notes: human-readable details per VC.
+    """
+
+    outcome: CheckOutcome
+    precondition: CheckOutcome = CheckOutcome.UNKNOWN
+    inductive: CheckOutcome = CheckOutcome.UNKNOWN
+    postcondition: CheckOutcome = CheckOutcome.UNKNOWN
+    counterexamples: list[dict] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def is_valid(self) -> bool:
+        return self.outcome is CheckOutcome.VALID

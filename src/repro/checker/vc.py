@@ -1,0 +1,233 @@
+"""Top-level invariant checking: atom filtering and full VC reports.
+
+:class:`InvariantChecker` is what the inference pipeline talks to.  It
+combines the exact symbolic equality check with bounded sampling:
+
+* :meth:`filter_sound_atoms` — given candidate atoms for one loop,
+  iterate to the greatest subset that is (a) true on every reachable
+  loop-head state over the *checking* input space, and (b) inductive
+  relative to the surviving conjunction (symbolically for equalities
+  when the loop body is polynomial; bounded otherwise).  This realizes
+  the paper's "check and remove unsound constraints" step.
+* :meth:`check_invariant` — full three-VC report for a formula,
+  including postcondition sufficiency, used to decide whether the
+  CEGIS loop can stop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.lang.ast import Expr, Program, While
+from repro.lang.analysis import extract_loop_paths
+from repro.lang.interp import ExecutionTrace
+from repro.sampling.termgen import ExternalTerm
+from repro.smt.formula import TRUE, And, Atom, Formula
+from repro.smt.simplify import simplify
+from repro.checker.bounded import BoundedChecker
+from repro.checker.result import CheckOutcome, CheckReport
+from repro.checker.symbolic import equality_inductive_symbolic
+
+
+@dataclass
+class AtomFilterResult:
+    """Outcome of :meth:`InvariantChecker.filter_sound_atoms`."""
+
+    sound: list[Atom] = field(default_factory=list)
+    rejected: list[tuple[Atom, str]] = field(default_factory=list)
+    counterexamples: list[dict] = field(default_factory=list)
+
+
+class InvariantChecker:
+    """Checks candidate invariants for one program."""
+
+    def __init__(
+        self,
+        program: Program,
+        check_inputs: Sequence[Mapping[str, object]],
+        externals: Sequence[ExternalTerm] = (),
+        rng: np.random.Generator | None = None,
+        fuel: int = 500_000,
+    ):
+        """
+        Args:
+            program: program under verification.
+            check_inputs: input assignments for the checking runs;
+                should be wider than the training inputs.
+            externals: external-function terms usable in invariants.
+            rng: randomness for perturbation sampling.
+            fuel: interpreter budget per run.
+        """
+        self.program = program
+        self.bounded = BoundedChecker(
+            program, externals=externals, rng=rng, fuel=fuel
+        )
+        self._traces: list[ExecutionTrace] | None = None
+        self._check_inputs = list(check_inputs)
+        self._paths_cache: dict[int, object] = {}
+
+    @property
+    def traces(self) -> list[ExecutionTrace]:
+        """Checking traces (computed lazily, cached)."""
+        if self._traces is None:
+            self._traces = self.bounded.run_traces(self._check_inputs)
+        return self._traces
+
+    def _loop(self, loop_index: int) -> While:
+        return self.program.loops[loop_index]
+
+    def _paths(self, loop_index: int):
+        if loop_index not in self._paths_cache:
+            self._paths_cache[loop_index] = extract_loop_paths(self._loop(loop_index))
+        return self._paths_cache[loop_index]
+
+    def _loop_states(self, loop_index: int, include_exit: bool) -> list[dict]:
+        states = []
+        for trace in self.traces:
+            for snapshot in trace.snapshots:
+                if snapshot.loop_id != loop_index:
+                    continue
+                if not include_exit and not snapshot.guard_value:
+                    continue
+                states.append(dict(snapshot.state))
+        return states
+
+    def _exit_states(self, loop_index: int) -> list[dict]:
+        return [
+            dict(s.state)
+            for t in self.traces
+            for s in t.snapshots
+            if s.loop_id == loop_index and not s.guard_value
+        ]
+
+    # -- atom filtering ----------------------------------------------------------
+
+    def filter_sound_atoms(
+        self, loop_index: int, atoms: Sequence[Atom]
+    ) -> AtomFilterResult:
+        """Greatest sound subset of candidate atoms for one loop."""
+        result = AtomFilterResult()
+        loop = self._loop(loop_index)
+        head_states = self._loop_states(loop_index, include_exit=True)
+
+        # Phase 1: reachability soundness.
+        surviving: list[Atom] = []
+        for atom in atoms:
+            outcome, cex = self.bounded.holds_on_reachable(
+                atom, loop_index, self.traces
+            )
+            if outcome is CheckOutcome.INVALID:
+                result.rejected.append((atom, "fails on reachable state"))
+                if cex:
+                    result.counterexamples.append(cex)
+            else:
+                surviving.append(atom)
+
+        # Phase 2: inductiveness relative to the surviving set, to fixpoint.
+        paths = self._paths(loop_index)
+        changed = True
+        while changed and surviving:
+            changed = False
+            conjunction: Formula = (
+                And(surviving) if len(surviving) > 1 else surviving[0]
+            )
+            eq_polys = [a.poly for a in surviving if a.op == "=="]
+            keep: list[Atom] = []
+            for atom in surviving:
+                verdict = CheckOutcome.UNKNOWN
+                if atom.op == "==" and paths is not None:
+                    verdict = equality_inductive_symbolic(atom.poly, eq_polys, paths)
+                if verdict is not CheckOutcome.VALID:
+                    verdict, cex = self.bounded.inductive_bounded(
+                        conjunction, loop, atom, head_states
+                    )
+                    if verdict is CheckOutcome.INVALID:
+                        result.rejected.append((atom, "not inductive"))
+                        if cex:
+                            result.counterexamples.append(cex)
+                        changed = True
+                        continue
+                keep.append(atom)
+            surviving = keep
+        result.sound = surviving
+        return result
+
+    # -- full check -------------------------------------------------------------
+
+    def check_invariant(
+        self,
+        loop_index: int,
+        invariant: Formula,
+        post_exprs: Sequence[Expr] = (),
+    ) -> CheckReport:
+        """Full three-VC report for a candidate invariant formula."""
+        report = CheckReport(outcome=CheckOutcome.UNKNOWN)
+        loop = self._loop(loop_index)
+        invariant = simplify(invariant)
+
+        # P => I plus consistency along executions.
+        outcome, cex = self.bounded.holds_on_reachable(
+            invariant, loop_index, self.traces
+        )
+        report.precondition = outcome
+        if outcome is CheckOutcome.INVALID and cex:
+            report.counterexamples.append(cex)
+            report.notes.append(f"invariant fails at reachable state {cex}")
+
+        # Inductiveness.
+        head_states = self._loop_states(loop_index, include_exit=True)
+        paths = self._paths(loop_index)
+        inductive = CheckOutcome.UNKNOWN
+        atoms = invariant.atoms()
+        if (
+            paths is not None
+            and atoms
+            and all(a.op == "==" for a in atoms)
+            and isinstance(invariant, (Atom, And))
+        ):
+            eq_polys = [a.poly for a in atoms]
+            verdicts = [
+                equality_inductive_symbolic(p, eq_polys, paths) for p in eq_polys
+            ]
+            if all(v is CheckOutcome.VALID for v in verdicts):
+                inductive = CheckOutcome.VALID
+        if inductive is not CheckOutcome.VALID:
+            inductive, cex = self.bounded.inductive_bounded(
+                invariant, loop, invariant, head_states
+            )
+            if cex:
+                report.counterexamples.append(cex)
+                report.notes.append(f"inductiveness fails from state {cex}")
+        report.inductive = inductive
+
+        # Postcondition sufficiency.
+        if post_exprs:
+            exit_states = self._exit_states(loop_index)
+            post_outcome = CheckOutcome.VALID
+            for expr in post_exprs:
+                outcome, cex = self.bounded.postcondition_bounded(
+                    invariant, loop, self.bounded.expr_fn(expr), exit_states
+                )
+                if outcome is CheckOutcome.INVALID:
+                    post_outcome = CheckOutcome.INVALID
+                    if cex:
+                        report.counterexamples.append(cex)
+                        report.notes.append(f"postcondition fails at {cex}")
+                    break
+                if outcome is CheckOutcome.UNKNOWN:
+                    post_outcome = CheckOutcome.UNKNOWN
+            report.postcondition = post_outcome
+        else:
+            report.postcondition = CheckOutcome.VALID
+
+        verdicts = (report.precondition, report.inductive, report.postcondition)
+        if any(v is CheckOutcome.INVALID for v in verdicts):
+            report.outcome = CheckOutcome.INVALID
+        elif all(v is CheckOutcome.VALID for v in verdicts):
+            report.outcome = CheckOutcome.VALID
+        else:
+            report.outcome = CheckOutcome.UNKNOWN
+        return report

@@ -1,0 +1,115 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run <nla-problem>`` — run the full inference pipeline on one of the
+  27 NLA benchmark problems and print the learned invariants.
+* ``list`` — list the available benchmark problems with metadata.
+* ``trace <nla-problem> --inputs k=5`` — execute a benchmark program on
+  one input assignment and dump the loop-head trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from fractions import Fraction
+
+from repro.bench.nla import NLA_PROBLEMS, nla_problem
+from repro.infer import InferenceConfig, infer_invariants
+from repro.lang import run_program
+from repro.smt import format_formula
+from repro.utils import format_table
+
+
+def _parse_assignment(pairs: list[str]) -> dict[str, object]:
+    assignment: dict[str, object] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"bad input {pair!r}; expected name=value")
+        name, _, value = pair.partition("=")
+        try:
+            assignment[name] = (
+                int(value) if "/" not in value else Fraction(value)
+            )
+        except ValueError as exc:
+            raise SystemExit(f"bad value in {pair!r}: {exc}") from exc
+    return assignment
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    rows = [
+        [e.name, e.degree, e.n_vars, "yes" if e.expected_solved else "no (paper fails too)"]
+        for e in NLA_PROBLEMS
+    ]
+    print(format_table(["problem", "degree", "vars", "paper solves"], rows))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    problem = nla_problem(args.problem)
+    config = InferenceConfig(max_epochs=args.epochs)
+    result = infer_invariants(problem, config)
+    print(f"problem:  {problem.name}")
+    print(f"solved:   {result.solved} "
+          f"({result.runtime_seconds:.1f}s, {result.attempts} attempt(s))")
+    for loop in result.loops:
+        print(f"loop {loop.loop_index}:")
+        print(f"  invariant: {format_formula(loop.invariant)}")
+        print(f"  ground truth implied: {loop.ground_truth_implied}")
+    return 0 if result.solved else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    problem = nla_problem(args.problem)
+    assignment = _parse_assignment(args.inputs)
+    trace = run_program(problem.program, assignment)
+    if trace.assume_violated:
+        print("assume violated; no trace")
+        return 1
+    variables = sorted(trace.snapshots[0].state) if trace.snapshots else []
+    rows = [
+        [s.loop_id, s.iteration, *[s.state[v] for v in variables]]
+        for s in trace.snapshots[: args.limit]
+    ]
+    print(format_table(["loop", "iter", *variables], rows))
+    if trace.assertion_failures:
+        print(f"assertion failures: {len(trace.assertion_failures)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="G-CLN nonlinear loop invariant inference (PLDI 2020 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmark problems").set_defaults(
+        func=_cmd_list
+    )
+
+    run_parser = sub.add_parser("run", help="infer invariants for a problem")
+    run_parser.add_argument("problem", help="NLA problem name (see 'list')")
+    run_parser.add_argument(
+        "--epochs", type=int, default=2000, help="training epochs per attempt"
+    )
+    run_parser.set_defaults(func=_cmd_run)
+
+    trace_parser = sub.add_parser("trace", help="dump one execution trace")
+    trace_parser.add_argument("problem")
+    trace_parser.add_argument(
+        "--inputs", nargs="+", default=[], metavar="NAME=VALUE"
+    )
+    trace_parser.add_argument("--limit", type=int, default=30)
+    trace_parser.set_defaults(func=_cmd_trace)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

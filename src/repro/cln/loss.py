@@ -1,0 +1,67 @@
+"""G-CLN loss (§5.2.1).
+
+    L(X; W, G) = Σ_x (1 - M(x))
+               + λ1 Σ_{g in gated t-norms} (1 - g)
+               + λ2 Σ_{g in gated t-conorms} g
+
+The first term drives the model output to 1 on every sample; λ1 keeps
+conjunction gates from collapsing to 0 (which would satisfy everything
+vacuously); λ2 keeps disjunction gates from saturating at 1 (which
+would make every clause trivially satisfiable by its loosest literal).
+Both λ schedules adapt during training (see ``train.GateSchedule``).
+"""
+
+from __future__ import annotations
+
+from repro.autodiff.tensor import Tensor
+from repro.cln.model import GCLN
+
+
+def gcln_loss(
+    model: GCLN,
+    X: Tensor,
+    lambda1: float,
+    lambda2: float,
+    relax_scale: float = 1.0,
+) -> Tensor:
+    """Compute the training loss on a full batch."""
+    output = model.forward(X, relax_scale)
+    data_term = (1.0 - output).sum()
+    and_term = (1.0 - model.and_gates).sum()
+    or_term = None
+    for gates in model.or_gates:
+        or_term = gates.sum() if or_term is None else or_term + gates.sum()
+    loss = data_term + lambda1 * and_term
+    if or_term is not None:
+        loss = loss + lambda2 * or_term
+    if model.config.weight_l1 > 0.0:
+        l1 = None
+        for group in model.clauses:
+            for unit in group:
+                term = unit.effective_weight().abs().sum()
+                l1 = term if l1 is None else l1 + term
+        if l1 is not None:
+            loss = loss + model.config.weight_l1 * l1
+    return loss
+
+
+class GateSchedule:
+    """Adaptive λ schedule: value ← value * multiplier, clamped at bound.
+
+    The paper sets λ1 = (1.0, ×0.999 per epoch, floor 0.1) and
+    λ2 = (0.001, ×1.001 per epoch, ceiling 0.1).
+    """
+
+    def __init__(self, initial: float, multiplier: float, bound: float):
+        self.value = initial
+        self.multiplier = multiplier
+        self.bound = bound
+
+    def step(self) -> float:
+        current = self.value
+        nxt = self.value * self.multiplier
+        if self.multiplier < 1.0:
+            self.value = max(nxt, self.bound)
+        else:
+            self.value = min(nxt, self.bound)
+        return current

@@ -1,0 +1,20 @@
+"""End-to-end loop invariant inference (Fig. 3 of the paper).
+
+``infer_invariants(problem)`` runs the full workflow: trace collection,
+term expansion and filtering, G-CLN training, formula extraction,
+soundness filtering / specification checking, and retry with adjusted
+dropout and widened sampling on failure.
+"""
+
+from repro.infer.problem import Problem, parse_ground_truth
+from repro.infer.config import InferenceConfig
+from repro.infer.pipeline import InferenceEngine, InferenceResult, infer_invariants
+
+__all__ = [
+    "Problem",
+    "parse_ground_truth",
+    "InferenceConfig",
+    "InferenceEngine",
+    "InferenceResult",
+    "infer_invariants",
+]

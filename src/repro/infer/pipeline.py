@@ -1,0 +1,442 @@
+"""The end-to-end inference engine (Fig. 3 workflow + CEGIS retries).
+
+Per attempt: collect traces → build candidate terms → train the G-CLN
+equality model (and the PBQU inequality model when enabled) → extract
+validated atoms → filter to the sound subset with the checker → stop
+when the ground-truth invariant is implied (or, with no ground truth,
+when the checker validates the conjunction).  Failed attempts retry
+with the next dropout rate / seed and, for fractional problems, finer
+sampling intervals.
+"""
+
+from __future__ import annotations
+
+import time
+from fractions import Fraction
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.checker.vc import InvariantChecker
+from repro.checker.result import CheckOutcome
+from repro.cln.bounds import BoundBank, enumerate_bound_masks, extract_bound_atoms, train_bound_bank
+from repro.cln.extract import extract_equalities, make_exact_validator
+from repro.poly.polynomial import Polynomial
+from repro.cln.model import GCLN, complexity_term_weights
+from repro.cln.train import train_gcln
+from repro.errors import InferenceError, TrainingError
+from repro.lang.ast import Assert
+from repro.poly.reduce import inter_reduce, is_implied_equality, reduce_modulo
+from repro.sampling.filters import dedup_columns, growth_rate_filter
+from repro.sampling.fractional import (
+    FRACTIONAL_SUFFIX,
+    fractional_inputs,
+    relax_initializers,
+)
+from repro.sampling.normalize import normalize_rows
+from repro.sampling.termgen import TermBasis, build_term_basis, evaluate_terms
+from repro.sampling.tracegen import collect_traces, loop_dataset
+from repro.smt.formula import TRUE, And, Atom, Formula
+from repro.smt.simplify import simplify
+from repro.infer.config import InferenceConfig
+from repro.infer.problem import Problem
+
+
+@dataclass
+class LoopResult:
+    """Inference outcome for one loop."""
+
+    loop_index: int
+    invariant: Formula
+    sound_atoms: list[Atom] = field(default_factory=list)
+    candidate_atoms: list[Atom] = field(default_factory=list)
+    ground_truth_implied: bool = False
+
+
+@dataclass
+class InferenceResult:
+    """Outcome of :func:`infer_invariants`."""
+
+    problem_name: str
+    solved: bool
+    loops: list[LoopResult] = field(default_factory=list)
+    runtime_seconds: float = 0.0
+    attempts: int = 0
+    notes: list[str] = field(default_factory=list)
+
+    def invariant(self, loop_index: int = 0) -> Formula:
+        for loop in self.loops:
+            if loop.loop_index == loop_index:
+                return loop.invariant
+        return TRUE
+
+
+class InferenceEngine:
+    """Runs the full inference workflow for one problem."""
+
+    def __init__(self, problem: Problem, config: InferenceConfig | None = None):
+        self.problem = problem
+        self.config = config if config is not None else InferenceConfig()
+        self._checker = InvariantChecker(
+            problem.program,
+            problem.effective_check_inputs,
+            externals=problem.externals,
+            rng=np.random.default_rng(10_007),
+        )
+
+    # -- data collection -------------------------------------------------------
+
+    def _collect_states(self, fractional_interval: float | None) -> dict[int, list[dict]]:
+        """Training states per loop, optionally with fractional sampling."""
+        problem = self.problem
+        program = problem.program
+        traces = collect_traces(program, problem.train_inputs)
+        states: dict[int, list[dict]] = {}
+        for loop_index in range(len(program.loops)):
+            states[loop_index] = loop_dataset(
+                traces, loop_index, max_states=problem.max_states
+            )
+
+        self._fractional_vars: list[str] = []
+        use_fractional = (
+            problem.fractional
+            and self.config.fractional_sampling
+            and fractional_interval is not None
+        )
+        if use_fractional:
+            relaxed, relaxed_vars = relax_initializers(
+                program, problem.fractional_vars
+            )
+            if relaxed_vars:
+                # The paper's relaxation (§4.3): initial values become
+                # symbolic inputs V_I carried as extra state variables
+                # (the ``*__frac`` offsets); the model learns the
+                # *relaxed* invariant over V ∪ V_I and the pipeline
+                # substitutes the exact initial offsets (zero) back in
+                # (Eq. 7).  Fractional states therefore keep their
+                # offset variables.
+                self._fractional_vars = [
+                    v + FRACTIONAL_SUFFIX for v in relaxed_vars
+                ]
+                base = problem.train_inputs[: max(1, len(problem.train_inputs) // 4)]
+                frac_in = fractional_inputs(
+                    base, relaxed_vars, interval=fractional_interval, limit=200
+                )
+                frac_traces = collect_traces(relaxed, frac_in)
+                for loop_index in range(len(program.loops)):
+                    extra = loop_dataset(
+                        frac_traces, loop_index, max_states=problem.max_states
+                    )
+                    zero = {name: 0 for name in self._fractional_vars}
+                    merged = [dict(s, **zero) for s in states[loop_index]]
+                    merged.extend(dict(s) for s in extra)
+                    seen: set[tuple] = set()
+                    unique: list[dict] = []
+                    for s in merged:
+                        key = tuple(sorted((k, str(v)) for k, v in s.items()))
+                        if key not in seen:
+                            seen.add(key)
+                            unique.append(s)
+                    states[loop_index] = unique[: 2 * problem.max_states]
+        return states
+
+    def _build_matrix(
+        self, states: list[dict], loop_index: int
+    ) -> tuple[TermBasis, np.ndarray, np.ndarray, list[Atom]]:
+        """Term basis, raw/training matrices, and degenerate-column atoms.
+
+        Duplicate columns (``r`` identical to ``A`` throughout) and
+        constant columns (``q`` always 0) are *themselves* equality
+        candidates; they are emitted directly because dropping the
+        duplicate column — necessary for conditioning — would otherwise
+        hide the invariant from the model.
+        """
+        problem = self.problem
+        variables = list(problem.loop_variables(loop_index))
+        frac_vars = [
+            v
+            for v in getattr(self, "_fractional_vars", [])
+            if states and v in states[0]
+        ]
+        variables.extend(v for v in frac_vars if v not in variables)
+        basis = build_term_basis(
+            variables, problem.max_degree, externals=problem.externals
+        )
+        usable_states = states
+        if problem.externals:
+            usable_states = [
+                s
+                for s in states
+                if all(
+                    not hasattr(s.get(a), "denominator")
+                    or getattr(s.get(a), "denominator", 1) == 1
+                    for ext in problem.externals
+                    for a in ext.args
+                )
+            ]
+        raw = evaluate_terms(usable_states, basis)
+
+        degenerate: list[Atom] = []
+        validator = make_exact_validator(usable_states, basis)
+        kept_unique = dedup_columns(raw)
+        dup_of: dict[int, int] = {}
+        for j in range(raw.shape[1]):
+            if j in kept_unique:
+                continue
+            for i in kept_unique:
+                if np.array_equal(raw[:, i], raw[:, j]):
+                    dup_of[j] = i
+                    break
+        for j, i in dup_of.items():
+            poly = Polynomial(
+                {basis.monomials[i]: 1, basis.monomials[j]: -1}
+            )
+            if not poly.is_zero() and validator(poly, "=="):
+                degenerate.append(Atom(poly.primitive(), "=="))
+        for j in kept_unique:
+            column = raw[:, j]
+            if basis.monomials[j].is_constant():
+                continue
+            if np.all(column == column[0]) and float(column[0]).is_integer():
+                poly = Polynomial(
+                    {
+                        basis.monomials[j]: 1,
+                        basis.monomials[0]: -int(column[0]),
+                    }
+                )
+                if validator(poly, "=="):
+                    degenerate.append(Atom(poly.primitive(), "=="))
+
+        degrees = [m.degree for m in basis.monomials]
+        keep = growth_rate_filter(raw, degrees, ratio_cap=self.config.growth_ratio_cap)
+        keep = [j for j in keep if j in set(kept_unique)]
+        basis = basis.restrict(keep)
+        raw = raw[:, keep]
+        if self.config.data_normalization:
+            data = normalize_rows(raw)
+        else:
+            data = raw.copy()
+        return basis, raw, data, degenerate
+
+    def _instantiate_fractional(
+        self, atoms: list[Atom], states: list[dict]
+    ) -> list[Atom]:
+        """Substitute zero offsets into relaxed-invariant atoms (Eq. 7).
+
+        Atoms learned over the relaxed program may mention the
+        ``*__frac`` initial-value variables; instantiating them at the
+        original initial values (offset 0) yields candidate invariants
+        of the original program, which are re-validated on the
+        zero-offset samples.
+        """
+        frac_vars = getattr(self, "_fractional_vars", [])
+        if not frac_vars:
+            return atoms
+        zero_map = {v: Polynomial.zero() for v in frac_vars}
+        base_states = [
+            {k: v for k, v in s.items() if not k.endswith(FRACTIONAL_SUFFIX)}
+            for s in states
+            if all(s.get(v, 0) == 0 for v in frac_vars)
+        ]
+        out: list[Atom] = []
+        for atom in atoms:
+            poly = atom.poly.substitute(zero_map)
+            if poly.is_zero() or poly.is_constant():
+                continue
+            if any(v.endswith(FRACTIONAL_SUFFIX) for v in poly.variables):
+                continue
+            candidate = Atom(poly.primitive(), atom.op)
+            if all(
+                candidate.evaluate({k: Fraction(v) for k, v in s.items()})
+                for s in base_states
+            ):
+                out.append(candidate)
+        return out
+
+    # -- main loop -------------------------------------------------------------
+
+    def run(self) -> InferenceResult:
+        problem = self.problem
+        config = self.config
+        program = problem.program
+        start = time.perf_counter()
+        result = InferenceResult(problem_name=problem.name, solved=False)
+
+        n_loops = len(program.loops)
+        if n_loops == 0:
+            raise InferenceError(f"problem {problem.name!r} has no loops")
+
+        accumulated: dict[int, dict[str, Atom]] = {i: {} for i in range(n_loops)}
+        fractional_schedule: list[float | None] = list(config.fractional_intervals)
+        if not problem.fractional:
+            fractional_schedule = [None]
+
+        attempts = 0
+        solved = False
+        for attempt_index, dropout in enumerate(config.dropout_schedule):
+            attempts += 1
+            seed = config.seeds[attempt_index % len(config.seeds)]
+            interval = fractional_schedule[
+                min(attempt_index, len(fractional_schedule) - 1)
+            ]
+            try:
+                states = self._collect_states(interval)
+            except InferenceError:
+                raise
+            gcln_config = config.gcln_for_attempt(dropout)
+
+            for loop_index in range(n_loops):
+                loop_states = states[loop_index]
+                if len(loop_states) < 3:
+                    continue
+                basis, _raw, data, degenerate = self._build_matrix(
+                    loop_states, loop_index
+                )
+                for atom in self._instantiate_fractional(degenerate, loop_states):
+                    accumulated[loop_index].setdefault(str(atom), atom)
+                rng = np.random.default_rng(seed * 1000 + loop_index)
+                weights = complexity_term_weights(
+                    [m.degree for m in basis.monomials],
+                    [len(m.variables) for m in basis.monomials],
+                )
+                try:
+                    model = GCLN(
+                        len(basis),
+                        gcln_config,
+                        rng,
+                        protected_terms=[0],
+                        term_weights=weights,
+                    )
+                    train_gcln(model, data)
+                    eq_atoms = extract_equalities(model, basis, loop_states)
+                except TrainingError as exc:
+                    result.notes.append(f"loop {loop_index}: training failed: {exc}")
+                    eq_atoms = []
+                for atom in self._instantiate_fractional(eq_atoms, loop_states):
+                    accumulated[loop_index].setdefault(str(atom), atom)
+
+                if problem.learn_inequalities:
+                    term_vars = [m.variables for m in basis.monomials]
+                    term_degs = [m.degree for m in basis.monomials]
+                    try:
+                        masks = enumerate_bound_masks(
+                            term_vars, term_degs, gcln_config
+                        )
+                        bank = BoundBank(masks, gcln_config, rng)
+                        train_bound_bank(bank, data)
+                        ge_atoms = extract_bound_atoms(
+                            bank, basis, loop_states, data
+                        )
+                    except TrainingError as exc:
+                        result.notes.append(
+                            f"loop {loop_index}: inequality training failed: {exc}"
+                        )
+                        ge_atoms = []
+                    for atom in ge_atoms:
+                        accumulated[loop_index].setdefault(str(atom), atom)
+
+            # Soundness filtering + solved test.
+            loop_results = []
+            all_implied = True
+            for loop_index in range(n_loops):
+                candidates = list(accumulated[loop_index].values())
+                filtered = self._checker.filter_sound_atoms(loop_index, candidates)
+                # Drop rejected atoms permanently.
+                sound_keys = {str(a) for a in filtered.sound}
+                accumulated[loop_index] = {
+                    k: v
+                    for k, v in accumulated[loop_index].items()
+                    if k in sound_keys
+                }
+                reduced = _reduce_redundant(filtered.sound)
+                invariant = simplify(And(reduced)) if reduced else TRUE
+                implied = _ground_truth_implied(
+                    problem.ground_truth_atoms(loop_index), filtered.sound
+                )
+                loop_results.append(
+                    LoopResult(
+                        loop_index=loop_index,
+                        invariant=invariant,
+                        sound_atoms=filtered.sound,
+                        candidate_atoms=candidates,
+                        ground_truth_implied=implied,
+                    )
+                )
+                if problem.ground_truth.get(loop_index) and not implied:
+                    all_implied = False
+            result.loops = loop_results
+            if all_implied and any(problem.ground_truth.values()):
+                solved = True
+                break
+            if not any(problem.ground_truth.values()):
+                # No ground truth: stop when the checker validates the
+                # conjunction (and something was learned).
+                posts = [s.cond for s in program.asserts]
+                report = self._checker.check_invariant(
+                    n_loops - 1, result.loops[-1].invariant, posts
+                )
+                if (
+                    report.outcome is CheckOutcome.VALID
+                    and result.loops[-1].sound_atoms
+                ):
+                    solved = True
+                    break
+
+        result.solved = solved
+        result.attempts = attempts
+        result.runtime_seconds = time.perf_counter() - start
+        return result
+
+
+def _reduce_redundant(atoms: list[Atom]) -> list[Atom]:
+    """Drop equality atoms implied by simpler ones (graded-lex reduction)."""
+    equalities = [a for a in atoms if a.op == "=="]
+    others = [a for a in atoms if a.op != "=="]
+    ordered = sorted(
+        equalities, key=lambda a: (a.poly.degree, len(a.poly.terms))
+    )
+    kept: list[Atom] = []
+    for atom in ordered:
+        basis = inter_reduce([k.poly for k in kept]) if kept else []
+        if basis and reduce_modulo(atom.poly, basis).is_zero():
+            continue
+        kept.append(atom)
+    return kept + others
+
+
+def _ground_truth_implied(truth: list[Atom], sound: list[Atom]) -> bool:
+    """Is every ground-truth atom implied by the sound learned atoms?
+
+    Equalities use graded-lex reduction modulo the learned equality
+    polynomials; inequalities require a syntactically matching learned
+    atom (same primitive polynomial and compatible operator).
+    """
+    if not truth:
+        return True
+    eq_basis = [a.poly for a in sound if a.op == "=="]
+    for atom in truth:
+        if atom.op == "==":
+            if not is_implied_equality(atom.poly, eq_basis):
+                return False
+        else:
+            target = str(atom.poly)
+            matched = False
+            for candidate in sound:
+                if candidate.op == atom.op and str(candidate.poly) == target:
+                    matched = True
+                    break
+                if candidate.op == "==" and (
+                    str(candidate.poly.primitive()) == str(atom.poly.primitive())
+                ):
+                    matched = True
+                    break
+            if not matched:
+                return False
+    return True
+
+
+def infer_invariants(
+    problem: Problem, config: InferenceConfig | None = None
+) -> InferenceResult:
+    """Convenience wrapper: run the engine once for ``problem``."""
+    return InferenceEngine(problem, config).run()

@@ -1,0 +1,161 @@
+"""Abstract syntax tree for the mini imperative language.
+
+The language is deliberately small: integer/rational scalars, arithmetic
+and boolean expressions, assignment, ``if``/``else``, ``while`` loops
+(each loop carries a stable ``loop_id`` assigned by the parser, used to
+tag trace snapshots), ``assume`` (precondition) and ``assert``
+(postcondition) annotations, and calls to a fixed set of builtin
+external functions (``gcd``, ``mod``, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+
+# --- expressions ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IntLit:
+    """Integer literal (fractional literals are built by division)."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class BoolLit:
+    value: bool
+
+
+@dataclass(frozen=True)
+class Var:
+    name: str
+
+
+@dataclass(frozen=True)
+class Unary:
+    """Unary operation; ``op`` is one of ``-`` or ``!``."""
+
+    op: str
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class Binary:
+    """Binary operation.
+
+    Arithmetic ops: ``+ - * / %``; comparisons: ``== != < <= > >=``;
+    boolean connectives: ``&& ||``.
+    """
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class Call:
+    """Call to a builtin external function (§5.3 of the paper)."""
+
+    func: str
+    args: tuple["Expr", ...]
+
+
+Expr = Union[IntLit, BoolLit, Var, Unary, Binary, Call]
+
+
+# --- statements ----------------------------------------------------------
+
+
+@dataclass
+class Assign:
+    name: str
+    value: Expr
+
+
+@dataclass
+class If:
+    cond: Expr
+    then_body: "Block"
+    else_body: "Block | None" = None
+
+
+@dataclass
+class While:
+    """A loop; ``loop_id`` indexes loops in parse order (outermost first)."""
+
+    cond: Expr
+    body: "Block"
+    loop_id: int = -1
+
+
+@dataclass
+class Assume:
+    """Constrains inputs; executions violating it are discarded."""
+
+    cond: Expr
+
+
+@dataclass
+class Assert:
+    """Postcondition obligation checked after execution."""
+
+    cond: Expr
+
+
+@dataclass
+class Block:
+    statements: list["Stmt"] = field(default_factory=list)
+
+
+Stmt = Union[Assign, If, While, Assume, Assert, Block]
+
+
+# --- program -------------------------------------------------------------
+
+
+@dataclass
+class Program:
+    """A parsed benchmark program.
+
+    Attributes:
+        name: program identifier from the ``program`` header.
+        inputs: names of nondeterministic input variables, in declaration
+            order; everything else is initialized by the program text.
+        body: top-level statement block.
+        loops: all ``While`` nodes in parse order (``loop_id`` indexes
+            into this list).
+    """
+
+    name: str
+    inputs: list[str]
+    body: Block
+    loops: list[While] = field(default_factory=list)
+
+    @property
+    def assumes(self) -> list[Assume]:
+        return [s for s in _walk_stmts(self.body) if isinstance(s, Assume)]
+
+    @property
+    def asserts(self) -> list[Assert]:
+        return [s for s in _walk_stmts(self.body) if isinstance(s, Assert)]
+
+
+def _walk_stmts(block: Block):
+    for stmt in block.statements:
+        yield stmt
+        if isinstance(stmt, If):
+            yield from _walk_stmts(stmt.then_body)
+            if stmt.else_body is not None:
+                yield from _walk_stmts(stmt.else_body)
+        elif isinstance(stmt, While):
+            yield from _walk_stmts(stmt.body)
+        elif isinstance(stmt, Block):
+            yield from _walk_stmts(stmt)
+
+
+def walk_statements(block: Block):
+    """Yield every statement in ``block``, recursively (pre-order)."""
+    yield from _walk_stmts(block)

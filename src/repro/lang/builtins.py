@@ -1,0 +1,82 @@
+"""Builtin external functions callable from benchmark programs.
+
+The paper (§5.3) supports invariants over external function calls such
+as ``gcd`` and ``mod`` by sampling the functions during execution.  The
+interpreter resolves calls through this registry; the sampler uses the
+same registry to expand candidate terms like ``gcd(a, b)``.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Callable
+
+from repro.errors import InterpError
+
+Numeric = "int | Fraction"
+
+
+def _require_int(value, func: str) -> int:
+    if isinstance(value, Fraction):
+        if value.denominator != 1:
+            raise InterpError(f"{func} requires integer arguments, got {value}")
+        return int(value)
+    if isinstance(value, int):
+        return value
+    raise InterpError(f"{func} requires integer arguments, got {value!r}")
+
+
+def builtin_gcd(a, b):
+    """Greatest common divisor on integers (gcd(0, 0) = 0)."""
+    return math.gcd(abs(_require_int(a, "gcd")), abs(_require_int(b, "gcd")))
+
+
+def builtin_mod(a, b):
+    """C-style remainder truncated toward zero, matching the NLA programs."""
+    ia, ib = _require_int(a, "mod"), _require_int(b, "mod")
+    if ib == 0:
+        raise InterpError("mod by zero")
+    return ia - ib * int(ia / ib)
+
+
+def builtin_div(a, b):
+    """Truncated integer division (C semantics)."""
+    ia, ib = _require_int(a, "div"), _require_int(b, "div")
+    if ib == 0:
+        raise InterpError("div by zero")
+    return int(ia / ib)
+
+
+def builtin_abs(a):
+    return -a if a < 0 else a
+
+
+def builtin_min(a, b):
+    return a if a <= b else b
+
+
+def builtin_max(a, b):
+    return a if a >= b else b
+
+
+BUILTINS: dict[str, Callable] = {
+    "gcd": builtin_gcd,
+    "mod": builtin_mod,
+    "div": builtin_div,
+    "abs": builtin_abs,
+    "min": builtin_min,
+    "max": builtin_max,
+}
+
+# Builtins usable as candidate invariant terms (binary, integer-valued);
+# the paper constrains external-function terms to binary functions.
+TERM_BUILTINS: tuple[str, ...] = ("gcd", "mod")
+
+
+def lookup_builtin(name: str) -> Callable:
+    """Resolve a builtin by name, raising :class:`InterpError` if unknown."""
+    func = BUILTINS.get(name)
+    if func is None:
+        raise InterpError(f"unknown function {name!r}")
+    return func

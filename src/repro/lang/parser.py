@@ -1,0 +1,260 @@
+"""Recursive-descent parser for the mini imperative language.
+
+Grammar (EBNF):
+
+    program   := "program" IDENT ";" { "input" IDENT {"," IDENT} ";" } stmt*
+    stmt      := assign | if | while | assume | assert | block
+    assign    := IDENT "=" expr ";"
+    if        := "if" "(" expr ")" block [ "else" block ]
+    while     := "while" "(" expr ")" block
+    assume    := "assume" "(" expr ")" ";"
+    assert    := "assert" "(" expr ")" ";"
+    block     := "{" stmt* "}"
+    expr      := or
+    or        := and { "||" and }
+    and       := cmp { "&&" cmp }
+    cmp       := sum [ ("=="|"!="|"<"|"<="|">"|">=") sum ]
+    sum       := term { ("+"|"-") term }
+    term      := unary { ("*"|"/"|"%") unary }
+    unary     := ("-"|"!") unary | atom
+    atom      := INT | "true" | "false" | IDENT [ "(" args ")" ] | "(" expr ")"
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.lang.ast import (
+    Assert,
+    Assign,
+    Assume,
+    Binary,
+    Block,
+    BoolLit,
+    Call,
+    Expr,
+    If,
+    IntLit,
+    Program,
+    Stmt,
+    Unary,
+    Var,
+    While,
+)
+from repro.lang.lexer import Token, tokenize
+
+_COMPARISONS = ("==", "!=", "<", "<=", ">", ">=")
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+        self._loops: list[While] = []
+
+    # -- token helpers -----------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def _check(self, kind: str, text: str | None = None) -> bool:
+        token = self._peek()
+        return token.kind == kind and (text is None or token.text == text)
+
+    def _expect(self, kind: str, text: str | None = None) -> Token:
+        token = self._peek()
+        if not self._check(kind, text):
+            wanted = text if text is not None else kind
+            raise ParseError(
+                f"expected {wanted!r}, found {token.text or token.kind!r}",
+                token.line,
+                token.column,
+            )
+        return self._advance()
+
+    def _match(self, kind: str, text: str | None = None) -> bool:
+        if self._check(kind, text):
+            self._advance()
+            return True
+        return False
+
+    # -- program -----------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        self._expect("keyword", "program")
+        name = self._expect("ident").text
+        self._expect("op", ";")
+        inputs: list[str] = []
+        while self._match("keyword", "input"):
+            inputs.append(self._expect("ident").text)
+            while self._match("op", ","):
+                inputs.append(self._expect("ident").text)
+            self._expect("op", ";")
+        body = Block()
+        while not self._check("eof"):
+            body.statements.append(self.parse_stmt())
+        return Program(name=name, inputs=inputs, body=body, loops=self._loops)
+
+    # -- statements ---------------------------------------------------------
+
+    def parse_stmt(self) -> Stmt:
+        if self._check("keyword", "while"):
+            return self._parse_while()
+        if self._check("keyword", "if"):
+            return self._parse_if()
+        if self._check("keyword", "assume"):
+            self._advance()
+            self._expect("op", "(")
+            cond = self.parse_expr()
+            self._expect("op", ")")
+            self._expect("op", ";")
+            return Assume(cond)
+        if self._check("keyword", "assert"):
+            self._advance()
+            self._expect("op", "(")
+            cond = self.parse_expr()
+            self._expect("op", ")")
+            self._expect("op", ";")
+            return Assert(cond)
+        if self._check("op", "{"):
+            return self._parse_block()
+        name_token = self._expect("ident")
+        self._expect("op", "=")
+        value = self.parse_expr()
+        self._expect("op", ";")
+        return Assign(name_token.text, value)
+
+    def _parse_block(self) -> Block:
+        self._expect("op", "{")
+        block = Block()
+        while not self._check("op", "}"):
+            if self._check("eof"):
+                token = self._peek()
+                raise ParseError("unterminated block", token.line, token.column)
+            block.statements.append(self.parse_stmt())
+        self._expect("op", "}")
+        return block
+
+    def _parse_while(self) -> While:
+        self._expect("keyword", "while")
+        self._expect("op", "(")
+        cond = self.parse_expr()
+        self._expect("op", ")")
+        loop = While(cond=cond, body=Block(), loop_id=len(self._loops))
+        # Register before parsing the body so outer loops get smaller ids.
+        self._loops.append(loop)
+        loop.body = self._parse_block()
+        return loop
+
+    def _parse_if(self) -> If:
+        self._expect("keyword", "if")
+        self._expect("op", "(")
+        cond = self.parse_expr()
+        self._expect("op", ")")
+        then_body = self._parse_block()
+        else_body = None
+        if self._match("keyword", "else"):
+            if self._check("keyword", "if"):
+                else_body = Block([self._parse_if()])
+            else:
+                else_body = self._parse_block()
+        return If(cond, then_body, else_body)
+
+    # -- expressions ---------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        while self._check("op", "||"):
+            self._advance()
+            left = Binary("||", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_cmp()
+        while self._check("op", "&&"):
+            self._advance()
+            left = Binary("&&", left, self._parse_cmp())
+        return left
+
+    def _parse_cmp(self) -> Expr:
+        left = self._parse_sum()
+        token = self._peek()
+        if token.kind == "op" and token.text in _COMPARISONS:
+            self._advance()
+            return Binary(token.text, left, self._parse_sum())
+        return left
+
+    def _parse_sum(self) -> Expr:
+        left = self._parse_term()
+        while self._peek().kind == "op" and self._peek().text in ("+", "-"):
+            op = self._advance().text
+            left = Binary(op, left, self._parse_term())
+        return left
+
+    def _parse_term(self) -> Expr:
+        left = self._parse_unary()
+        while self._peek().kind == "op" and self._peek().text in ("*", "/", "%"):
+            op = self._advance().text
+            left = Binary(op, left, self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> Expr:
+        token = self._peek()
+        if token.kind == "op" and token.text in ("-", "!"):
+            self._advance()
+            return Unary(token.text, self._parse_unary())
+        return self._parse_atom()
+
+    def _parse_atom(self) -> Expr:
+        token = self._peek()
+        if token.kind == "int":
+            self._advance()
+            return IntLit(int(token.text))
+        if token.kind == "keyword" and token.text in ("true", "false"):
+            self._advance()
+            return BoolLit(token.text == "true")
+        if token.kind == "ident":
+            self._advance()
+            if self._match("op", "("):
+                args: list[Expr] = []
+                if not self._check("op", ")"):
+                    args.append(self.parse_expr())
+                    while self._match("op", ","):
+                        args.append(self.parse_expr())
+                self._expect("op", ")")
+                return Call(token.text, tuple(args))
+            return Var(token.text)
+        if self._match("op", "("):
+            inner = self.parse_expr()
+            self._expect("op", ")")
+            return inner
+        raise ParseError(
+            f"unexpected token {token.text or token.kind!r}", token.line, token.column
+        )
+
+
+def parse_program(source: str) -> Program:
+    """Parse a full program from source text."""
+    return _Parser(tokenize(source)).parse_program()
+
+
+def parse_expr(source: str) -> Expr:
+    """Parse a single expression (for tests and ad-hoc formulas)."""
+    parser = _Parser(tokenize(source))
+    expr = parser.parse_expr()
+    trailing = parser._peek()
+    if trailing.kind != "eof":
+        raise ParseError(
+            f"trailing input after expression: {trailing.text!r}",
+            trailing.line,
+            trailing.column,
+        )
+    return expr

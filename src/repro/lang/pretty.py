@@ -1,0 +1,103 @@
+"""Pretty-printer for the mini language (round-trips through the parser)."""
+
+from __future__ import annotations
+
+from repro.errors import LangError
+from repro.lang.ast import (
+    Assert,
+    Assign,
+    Assume,
+    Binary,
+    Block,
+    BoolLit,
+    Call,
+    Expr,
+    If,
+    IntLit,
+    Program,
+    Stmt,
+    Unary,
+    Var,
+    While,
+)
+
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "==": 3,
+    "!=": 3,
+    "<": 3,
+    "<=": 3,
+    ">": 3,
+    ">=": 3,
+    "+": 4,
+    "-": 4,
+    "*": 5,
+    "/": 5,
+    "%": 5,
+}
+
+
+def pretty_expr(expr: Expr, parent_prec: int = 0) -> str:
+    """Render an expression with minimal parentheses."""
+    if isinstance(expr, IntLit):
+        return str(expr.value)
+    if isinstance(expr, BoolLit):
+        return "true" if expr.value else "false"
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, Unary):
+        inner = pretty_expr(expr.operand, 6)
+        return f"{expr.op}{inner}"
+    if isinstance(expr, Call):
+        args = ", ".join(pretty_expr(a) for a in expr.args)
+        return f"{expr.func}({args})"
+    if isinstance(expr, Binary):
+        prec = _PRECEDENCE[expr.op]
+        left = pretty_expr(expr.left, prec)
+        # Right operand binds tighter to keep left-associativity explicit.
+        right = pretty_expr(expr.right, prec + 1)
+        text = f"{left} {expr.op} {right}"
+        return f"({text})" if prec < parent_prec else text
+    raise LangError(f"cannot pretty-print {expr!r}")
+
+
+def _pretty_stmt(stmt: Stmt, indent: int, out: list[str]) -> None:
+    pad = "  " * indent
+    if isinstance(stmt, Assign):
+        out.append(f"{pad}{stmt.name} = {pretty_expr(stmt.value)};")
+    elif isinstance(stmt, Assume):
+        out.append(f"{pad}assume ({pretty_expr(stmt.cond)});")
+    elif isinstance(stmt, Assert):
+        out.append(f"{pad}assert ({pretty_expr(stmt.cond)});")
+    elif isinstance(stmt, While):
+        out.append(f"{pad}while ({pretty_expr(stmt.cond)}) {{")
+        for inner in stmt.body.statements:
+            _pretty_stmt(inner, indent + 1, out)
+        out.append(f"{pad}}}")
+    elif isinstance(stmt, If):
+        out.append(f"{pad}if ({pretty_expr(stmt.cond)}) {{")
+        for inner in stmt.then_body.statements:
+            _pretty_stmt(inner, indent + 1, out)
+        if stmt.else_body is not None:
+            out.append(f"{pad}}} else {{")
+            for inner in stmt.else_body.statements:
+                _pretty_stmt(inner, indent + 1, out)
+        out.append(f"{pad}}}")
+    elif isinstance(stmt, Block):
+        out.append(f"{pad}{{")
+        for inner in stmt.statements:
+            _pretty_stmt(inner, indent + 1, out)
+        out.append(f"{pad}}}")
+    else:
+        raise LangError(f"cannot pretty-print {stmt!r}")
+
+
+def pretty_program(program: Program) -> str:
+    """Render a program as parseable source text."""
+    lines = [f"program {program.name};"]
+    if program.inputs:
+        lines.append("input " + ", ".join(program.inputs) + ";")
+    for stmt in program.body.statements:
+        _pretty_stmt(stmt, 0, lines)
+    return "\n".join(lines) + "\n"

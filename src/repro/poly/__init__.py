@@ -1,0 +1,23 @@
+"""Exact multivariate polynomial arithmetic over the rationals.
+
+This subpackage is the symbolic core of the invariant checker: candidate
+polynomial equality invariants are checked for inductiveness by exact
+substitution of the loop-body updates and reduction modulo the learned
+equality set. It also provides the nullspace solver used by the
+Guess-and-Check baseline and Faulhaber power-sum formulas used as ground
+truth in tests.
+"""
+
+from repro.poly.monomial import Monomial
+from repro.poly.polynomial import Polynomial
+from repro.poly.reduce import reduce_modulo
+from repro.poly.nullspace import rational_nullspace
+from repro.poly.faulhaber import power_sum_polynomial
+
+__all__ = [
+    "Monomial",
+    "Polynomial",
+    "reduce_modulo",
+    "rational_nullspace",
+    "power_sum_polynomial",
+]

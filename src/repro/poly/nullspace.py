@@ -1,0 +1,80 @@
+"""Exact rational nullspace computation.
+
+The Guess-and-Check baseline [Sharma et al. 2013] learns polynomial
+equality invariants by computing the nullspace of the data matrix whose
+columns are candidate monomial terms evaluated on the samples: every
+nullspace vector is an equality that holds on all samples.  We compute
+the nullspace exactly over ``Fraction`` via Gauss-Jordan elimination so
+the recovered coefficients are integral, never floating-point guesses.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from repro.errors import PolyError
+
+
+def rational_nullspace(rows: Sequence[Sequence[object]]) -> list[list[Fraction]]:
+    """Basis of the right nullspace of a matrix, exactly.
+
+    Args:
+        rows: matrix rows; entries are int/Fraction (floats must be
+            integral-valued).
+
+    Returns:
+        A list of basis vectors (each ``list[Fraction]`` of length
+        ``ncols``) spanning ``{v : A @ v = 0}``.
+    """
+    if not rows:
+        return []
+    ncols = len(rows[0])
+    matrix: list[list[Fraction]] = []
+    for row in rows:
+        if len(row) != ncols:
+            raise PolyError("ragged matrix passed to rational_nullspace")
+        matrix.append([_frac(x) for x in row])
+
+    # Gauss-Jordan to reduced row echelon form.
+    pivot_cols: list[int] = []
+    r = 0
+    for c in range(ncols):
+        pivot_row = None
+        for i in range(r, len(matrix)):
+            if matrix[i][c] != 0:
+                pivot_row = i
+                break
+        if pivot_row is None:
+            continue
+        matrix[r], matrix[pivot_row] = matrix[pivot_row], matrix[r]
+        pivot = matrix[r][c]
+        matrix[r] = [x / pivot for x in matrix[r]]
+        for i in range(len(matrix)):
+            if i != r and matrix[i][c] != 0:
+                factor = matrix[i][c]
+                matrix[i] = [a - factor * b for a, b in zip(matrix[i], matrix[r])]
+        pivot_cols.append(c)
+        r += 1
+        if r == len(matrix):
+            break
+
+    free_cols = [c for c in range(ncols) if c not in pivot_cols]
+    basis: list[list[Fraction]] = []
+    for free in free_cols:
+        vec = [Fraction(0)] * ncols
+        vec[free] = Fraction(1)
+        for row_idx, pivot_col in enumerate(pivot_cols):
+            vec[pivot_col] = -matrix[row_idx][free]
+        basis.append(vec)
+    return basis
+
+
+def _frac(value: object) -> Fraction:
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int):
+        return Fraction(value)
+    if isinstance(value, float):
+        return Fraction(value)
+    raise PolyError(f"cannot convert {value!r} to Fraction")

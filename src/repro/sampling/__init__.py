@@ -1,0 +1,33 @@
+"""Trace collection and training-data construction (paper §3, §5.1).
+
+Pipeline: run the program over an input space (``tracegen``), expand
+loop-head states to candidate monomial/external terms (``termgen``),
+filter unstable terms (``filters``), normalize rows (``normalize``),
+and densify with fractional sampling when needed (``fractional``).
+"""
+
+from repro.sampling.tracegen import collect_traces, loop_dataset, enumerate_inputs
+from repro.sampling.termgen import (
+    TermBasis,
+    build_term_basis,
+    extend_state,
+    evaluate_terms,
+)
+from repro.sampling.filters import growth_rate_filter, dedup_columns
+from repro.sampling.normalize import normalize_rows
+from repro.sampling.fractional import relax_initializers, fractional_inputs
+
+__all__ = [
+    "collect_traces",
+    "loop_dataset",
+    "enumerate_inputs",
+    "TermBasis",
+    "build_term_basis",
+    "extend_state",
+    "evaluate_terms",
+    "growth_rate_filter",
+    "dedup_columns",
+    "normalize_rows",
+    "relax_initializers",
+    "fractional_inputs",
+]

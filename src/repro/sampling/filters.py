@@ -1,0 +1,131 @@
+"""Candidate-term filters (§5.1.3 of the paper).
+
+The paper adopts the growth-rate heuristic of Sharma et al. [33] to
+discard monomials that cannot appear in an invariant because they grow
+strictly faster along every trace than any program value they could be
+balanced against.  Our implementation estimates each term's growth
+order along traces and removes terms whose magnitude dwarfs every
+degree-1 term by more than ``ratio_cap`` at the end of the longest
+trace; exact duplicate columns are also merged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def growth_rate_filter(
+    matrix: np.ndarray,
+    degrees: list[int],
+    ratio_cap: float = 1e8,
+    magnitude_cap: float = 1e12,
+) -> list[int]:
+    """Indices of terms to keep.
+
+    Args:
+        matrix: samples x terms data matrix.
+        degrees: total degree of each term (degree-0 constant is always
+            kept).
+        ratio_cap: a higher-degree term is dropped when its maximum
+            magnitude exceeds ``ratio_cap`` times the largest degree-1
+            magnitude (it could never be balanced in an equality).
+        magnitude_cap: absolute cap guarding against float overflow.
+
+    Returns:
+        Sorted list of column indices that survive.
+    """
+    if matrix.ndim != 2 or matrix.shape[1] != len(degrees):
+        raise ValueError("matrix/degrees mismatch in growth_rate_filter")
+    max_abs = np.abs(matrix).max(axis=0) if len(matrix) else np.zeros(len(degrees))
+    linear_scale = max(
+        (max_abs[j] for j, d in enumerate(degrees) if d == 1), default=1.0
+    )
+    linear_scale = max(linear_scale, 1.0)
+    keep: list[int] = []
+    for j, degree in enumerate(degrees):
+        if degree == 0:
+            keep.append(j)
+            continue
+        if max_abs[j] > magnitude_cap:
+            continue
+        if max_abs[j] > ratio_cap * linear_scale:
+            continue
+        keep.append(j)
+    return keep
+
+
+def growth_order_filter(
+    trace_matrices: list[np.ndarray],
+    degrees: list[int],
+    order_slack: float = 0.75,
+    min_length: int = 6,
+) -> list[int]:
+    """Growth-order heuristic from Sharma et al. [33] (§5.1.3).
+
+    Estimates each term's growth order (the exponent ``k`` in
+    ``|value| ~ iteration^k``) by log-log regression along each trace,
+    and drops terms growing strictly faster than the fastest-growing
+    *single variable* — such terms cannot be balanced in any invariant
+    over the candidate basis.
+
+    Args:
+        trace_matrices: per-trace term matrices (iterations x terms),
+            in iteration order.
+        degrees: total degree of each term.
+        order_slack: tolerance added to the cutoff.
+        min_length: traces shorter than this are ignored (regression
+            would be meaningless).
+
+    Returns:
+        Sorted indices of surviving terms (constant always survives).
+    """
+    n_terms = len(degrees)
+    usable = [m for m in trace_matrices if m.shape[0] >= min_length]
+    if not usable:
+        return list(range(n_terms))
+    orders = np.zeros(n_terms)
+    for j in range(n_terms):
+        estimates = []
+        for matrix in usable:
+            values = np.abs(matrix[:, j])
+            iterations = np.arange(1, len(values) + 1, dtype=float)
+            mask = values > 1e-12
+            if mask.sum() < min_length:
+                continue
+            slope, _ = np.polyfit(
+                np.log(iterations[mask]), np.log(values[mask]), 1
+            )
+            estimates.append(slope)
+        orders[j] = max(estimates) if estimates else 0.0
+    single_var = [
+        j for j in range(n_terms) if degrees[j] == 1
+    ]
+    cutoff = max((orders[j] for j in single_var), default=max(orders)) + order_slack
+    return sorted(
+        j for j in range(n_terms) if degrees[j] == 0 or orders[j] <= cutoff
+    )
+
+
+def dedup_columns(matrix: np.ndarray, tol: float = 0.0) -> list[int]:
+    """Indices of the first occurrence of each distinct column.
+
+    Duplicate columns (e.g. a variable that equals another throughout
+    the sampled traces) would make the learned coefficients
+    unidentifiable; keeping one representative is enough because any
+    invariant over the dropped column can be rewritten over the kept
+    one on the sampled data.
+    """
+    keep: list[int] = []
+    for j in range(matrix.shape[1]):
+        duplicate = False
+        for i in keep:
+            if tol == 0.0:
+                if np.array_equal(matrix[:, i], matrix[:, j]):
+                    duplicate = True
+                    break
+            elif np.max(np.abs(matrix[:, i] - matrix[:, j])) <= tol:
+                duplicate = True
+                break
+        if not duplicate:
+            keep.append(j)
+    return keep

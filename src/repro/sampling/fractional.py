@@ -1,0 +1,132 @@
+"""Fractional sampling: sound relaxation of initial values (§4.3).
+
+The paper relaxes the initial values of loop variables to the real
+domain: any invariant of the relaxed program (with initial values seen
+as symbolic inputs ``V_I``) instantiated at the concrete initial values
+is an invariant of the original program.
+
+We implement the relaxation as a program transformation: every
+top-level constant initializer ``x = c`` executed before the first loop
+is rewritten to ``x = c + x__frac`` where ``x__frac`` is a fresh input
+variable.  Sampling ``x__frac`` on progressively finer grids
+(0.5, 0.25, ...) around 0 produces the dense rational samples of
+Fig. 8c while ``x__frac = 0`` recovers the original program exactly.
+"""
+
+from __future__ import annotations
+
+import copy
+from fractions import Fraction
+from itertools import product as iter_product
+from typing import Sequence
+
+from repro.errors import LangError
+from repro.lang.ast import Assign, Binary, IntLit, Program, Unary, Var, While
+
+FRACTIONAL_SUFFIX = "__frac"
+
+
+def _constant_value(expr) -> int | None:
+    """Evaluate a constant integer expression, else None."""
+    if isinstance(expr, IntLit):
+        return expr.value
+    if isinstance(expr, Unary) and expr.op == "-":
+        inner = _constant_value(expr.operand)
+        return None if inner is None else -inner
+    if isinstance(expr, Binary) and expr.op in ("+", "-", "*"):
+        left = _constant_value(expr.left)
+        right = _constant_value(expr.right)
+        if left is None or right is None:
+            return None
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        return left * right
+    return None
+
+
+def relax_initializers(
+    program: Program,
+    variables: Sequence[str] | None = None,
+) -> tuple[Program, list[str]]:
+    """Relax constant initializers to fractional inputs.
+
+    Args:
+        program: program to relax (not mutated).
+        variables: which variables to relax; by default, every variable
+            with a top-level constant initializer before the first loop.
+
+    Returns:
+        ``(relaxed_program, relaxed_variable_names)`` where the relaxed
+        program has one extra input ``v + FRACTIONAL_SUFFIX`` per
+        relaxed variable.  Passing 0 for every fractional input makes
+        the relaxed program behave exactly like the original.
+    """
+    relaxed = copy.deepcopy(program)
+    relaxed_vars: list[str] = []
+    for stmt in relaxed.body.statements:
+        if isinstance(stmt, While):
+            break
+        if not isinstance(stmt, Assign):
+            continue
+        if variables is not None and stmt.name not in variables:
+            continue
+        if _constant_value(stmt.value) is None:
+            continue
+        frac_name = stmt.name + FRACTIONAL_SUFFIX
+        if frac_name in relaxed.inputs:
+            raise LangError(f"fractional input {frac_name!r} already exists")
+        stmt.value = Binary("+", stmt.value, Var(frac_name))
+        relaxed.inputs.append(frac_name)
+        relaxed_vars.append(stmt.name)
+    # Re-collect loops: deepcopy duplicated the While nodes, so rebuild
+    # the loops list from the copied body to keep identity consistent.
+    from repro.lang.ast import walk_statements
+
+    relaxed.loops = [s for s in walk_statements(relaxed.body) if isinstance(s, While)]
+    return relaxed, relaxed_vars
+
+
+def fractional_inputs(
+    base_inputs: Sequence[dict[str, object]],
+    relaxed_vars: Sequence[str],
+    interval: float = 0.5,
+    span: float = 1.0,
+    limit: int | None = 400,
+) -> list[dict[str, object]]:
+    """Input assignments for the relaxed program.
+
+    For each base input assignment, takes the Cartesian grid of
+    fractional offsets in ``[-span, span]`` with step ``interval`` for
+    every relaxed variable (the paper samples on 0.5 intervals first,
+    then 0.25, ...).
+
+    Args:
+        base_inputs: assignments for the original input variables.
+        relaxed_vars: names returned by :func:`relax_initializers`.
+        interval: grid step for the offsets.
+        span: maximum absolute offset.
+        limit: cap on the number of generated assignments.
+
+    Returns:
+        Assignments including the ``*__frac`` inputs, always containing
+        the all-zero offsets (original semantics) first.
+    """
+    steps: list[Fraction] = [Fraction(0)]
+    step = Fraction(interval).limit_denominator(1000)
+    span_frac = Fraction(span).limit_denominator(1000)
+    k = 1
+    while k * step <= span_frac:
+        steps.extend([k * step, -k * step])
+        k += 1
+    out: list[dict[str, object]] = []
+    for base in base_inputs:
+        for offsets in iter_product(steps, repeat=len(relaxed_vars)):
+            assignment = dict(base)
+            for var, offset in zip(relaxed_vars, offsets):
+                assignment[var + FRACTIONAL_SUFFIX] = offset
+            out.append(assignment)
+            if limit is not None and len(out) >= limit:
+                return out
+    return out

@@ -1,0 +1,25 @@
+"""Per-sample data normalization (§5.1.1, Table 1 of the paper).
+
+Each sample row (including the constant-1 column) is rescaled so its
+L2 norm equals ``l`` (the paper uses l = 10).  Scaling a row by a
+positive constant preserves both equalities ``w·x = 0`` and
+inequalities ``w·x >= 0``, so normalization cannot change which
+formulas fit the data — it only conditions the optimization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def normalize_rows(matrix: np.ndarray, target_norm: float = 10.0) -> np.ndarray:
+    """Rescale every row to L2 norm ``target_norm``.
+
+    Zero rows are left as zeros (they satisfy every homogeneous
+    constraint and carry no directional information).
+    """
+    if target_norm <= 0:
+        raise ValueError(f"target_norm must be positive, got {target_norm}")
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    safe = np.where(norms == 0.0, 1.0, norms)
+    return matrix * (target_norm / safe)

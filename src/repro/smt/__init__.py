@@ -1,0 +1,38 @@
+"""SMT formula intermediate representation.
+
+Learned invariants are quantifier-free formulas over polynomial atoms.
+External-function terms such as ``gcd(a, b)`` are represented as
+*extended variables* — reserved variable names like ``"gcd(a,b)"`` — so
+the polynomial engine handles them uniformly; evaluation environments
+must bind them (see ``repro.sampling.termgen.extend_state``).
+"""
+
+from repro.smt.formula import (
+    And,
+    Atom,
+    FalseFormula,
+    Formula,
+    Not,
+    Or,
+    TrueFormula,
+    FALSE,
+    TRUE,
+)
+from repro.smt.simplify import simplify
+from repro.smt.printer import format_formula
+from repro.smt.convert import expr_to_formula
+
+__all__ = [
+    "And",
+    "Atom",
+    "FalseFormula",
+    "Formula",
+    "Not",
+    "Or",
+    "TrueFormula",
+    "TRUE",
+    "FALSE",
+    "simplify",
+    "format_formula",
+    "expr_to_formula",
+]

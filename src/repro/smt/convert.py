@@ -1,0 +1,76 @@
+"""Convert mini-language boolean expressions to SMT formulas.
+
+Pre/post-conditions and loop guards written in the mini language become
+:class:`~repro.smt.formula.Formula` values so the checker can manipulate
+them uniformly with learned invariants.  External calls inside
+arithmetic become extended variables (``gcd(a,b)`` the string), matching
+the sampler's term naming.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FormulaError
+from repro.lang.ast import Binary, BoolLit, Call, Expr, IntLit, Unary, Var
+from repro.poly.polynomial import Polynomial
+from repro.smt.formula import FALSE, TRUE, And, Atom, Formula, Not, Or
+
+
+def external_term_name(func: str, args: tuple[str, ...]) -> str:
+    """Canonical extended-variable name for an external-function term."""
+    return f"{func}({','.join(args)})"
+
+
+def expr_to_formula(expr: Expr) -> Formula:
+    """Convert a boolean mini-language expression to a formula.
+
+    Raises:
+        FormulaError: if the expression is not boolean-typed or uses
+            constructs outside the polynomial-plus-externals fragment
+            (e.g. ``%`` with non-constant operands is rejected).
+    """
+    if isinstance(expr, BoolLit):
+        return TRUE if expr.value else FALSE
+    if isinstance(expr, Unary) and expr.op == "!":
+        return Not(expr_to_formula(expr.operand))
+    if isinstance(expr, Binary):
+        if expr.op == "&&":
+            return And((expr_to_formula(expr.left), expr_to_formula(expr.right)))
+        if expr.op == "||":
+            return Or((expr_to_formula(expr.left), expr_to_formula(expr.right)))
+        if expr.op in ("==", "!=", "<", "<=", ">", ">="):
+            left = arith_to_polynomial(expr.left)
+            right = arith_to_polynomial(expr.right)
+            return Atom(left - right, expr.op)
+    raise FormulaError(f"not a boolean expression: {expr!r}")
+
+
+def arith_to_polynomial(expr: Expr) -> Polynomial:
+    """Convert an arithmetic expression to a polynomial over extended vars."""
+    if isinstance(expr, IntLit):
+        return Polynomial.constant(expr.value)
+    if isinstance(expr, Var):
+        return Polynomial.var(expr.name)
+    if isinstance(expr, Unary) and expr.op == "-":
+        return -arith_to_polynomial(expr.operand)
+    if isinstance(expr, Call):
+        arg_names = []
+        for arg in expr.args:
+            if not isinstance(arg, Var):
+                raise FormulaError(
+                    f"external call arguments must be variables: {expr!r}"
+                )
+            arg_names.append(arg.name)
+        return Polynomial.var(external_term_name(expr.func, tuple(arg_names)))
+    if isinstance(expr, Binary):
+        if expr.op == "+":
+            return arith_to_polynomial(expr.left) + arith_to_polynomial(expr.right)
+        if expr.op == "-":
+            return arith_to_polynomial(expr.left) - arith_to_polynomial(expr.right)
+        if expr.op == "*":
+            return arith_to_polynomial(expr.left) * arith_to_polynomial(expr.right)
+        if expr.op == "/":
+            divisor = arith_to_polynomial(expr.right)
+            if not divisor.is_constant() or divisor.is_zero():
+                raise FormulaError(f"division by non-constant: {expr!r}")
+            return arith_to_polynomial(expr.left).scale(1 / divisor.constant_term())
+    raise FormulaError(f"not an arithmetic expression: {expr!r}")

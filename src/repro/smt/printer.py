@@ -1,0 +1,56 @@
+"""Human-readable formula printing in the paper's style.
+
+Atoms are printed with the constant moved to the right-hand side where
+that reads better, e.g. ``Polynomial(a^2 - n) <= 0`` prints as
+``a^2 - n <= 0`` and equality atoms print as ``p == 0`` with the
+polynomial in graded-lex order.
+"""
+
+from __future__ import annotations
+
+from repro.smt.formula import And, Atom, FalseFormula, Formula, Not, Or, TrueFormula
+
+
+def format_formula(formula: Formula) -> str:
+    """Render a formula compactly (no redundant outer parentheses)."""
+    text = _fmt(formula)
+    if text.startswith("(") and text.endswith(")") and _balanced(text[1:-1]):
+        return text[1:-1]
+    return text
+
+
+def _fmt(formula: Formula) -> str:
+    if isinstance(formula, TrueFormula):
+        return "true"
+    if isinstance(formula, FalseFormula):
+        return "false"
+    if isinstance(formula, Atom):
+        return f"{formula.poly} {formula.op} 0"
+    if isinstance(formula, Not):
+        return f"!({_fmt(formula.child)})"
+    if isinstance(formula, (And, Or)):
+        joiner = " && " if isinstance(formula, And) else " || "
+        if not formula.children:
+            return "true" if isinstance(formula, And) else "false"
+        rendered = []
+        for child in formula.children:
+            text = _fmt(child)
+            if isinstance(child, (And, Or)) and child.children:
+                text = f"({text})"
+            elif isinstance(child, Atom):
+                text = f"({text})"
+            rendered.append(text)
+        return joiner.join(rendered)
+    raise TypeError(f"cannot format {formula!r}")
+
+
+def _balanced(text: str) -> bool:
+    depth = 0
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth < 0:
+                return False
+    return depth == 0

@@ -1,0 +1,72 @@
+"""Formula simplification: flattening, deduplication, absorption.
+
+Extraction can produce nested conjunctions with duplicate or trivial
+clauses; :func:`simplify` normalizes them so reported invariants read
+like the paper's (e.g. ``(t = 2a + 1) && (a^2 <= n)``).
+"""
+
+from __future__ import annotations
+
+from repro.smt.formula import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    FalseFormula,
+    Formula,
+    Not,
+    Or,
+    TrueFormula,
+)
+
+
+def simplify(formula: Formula) -> Formula:
+    """Normalize a formula.
+
+    Applies, bottom-up: double-negation elimination, negation pushing
+    into atoms, And/Or flattening, duplicate-child removal, unit and
+    absorbing element rules (``x && true = x``, ``x || true = true``,
+    ...), constant folding of ground atoms, and singleton unwrapping.
+    """
+    if isinstance(formula, (TrueFormula, FalseFormula)):
+        return formula
+    if isinstance(formula, Atom):
+        if formula.poly.is_constant():
+            return TRUE if formula.evaluate({}) else FALSE
+        preserve = formula.op not in ("==", "!=")
+        return Atom(formula.poly.primitive(preserve_sign=preserve), formula.op)
+    if isinstance(formula, Not):
+        inner = simplify(formula.child)
+        if isinstance(inner, TrueFormula):
+            return FALSE
+        if isinstance(inner, FalseFormula):
+            return TRUE
+        if isinstance(inner, Not):
+            return inner.child
+        if isinstance(inner, Atom):
+            return inner.negated()
+        return Not(inner)
+    if isinstance(formula, (And, Or)):
+        is_and = isinstance(formula, And)
+        unit: Formula = TRUE if is_and else FALSE
+        absorbing: Formula = FALSE if is_and else TRUE
+        flattened: list[Formula] = []
+        seen: set[str] = set()
+        for child in formula.children:
+            child = simplify(child)
+            if child == absorbing:
+                return absorbing
+            if child == unit:
+                continue
+            inner = child.children if type(child) is type(formula) else (child,)
+            for grand in inner:
+                key = str(grand)
+                if key not in seen:
+                    seen.add(key)
+                    flattened.append(grand)
+        if not flattened:
+            return unit
+        if len(flattened) == 1:
+            return flattened[0]
+        return And(flattened) if is_and else Or(flattened)
+    raise TypeError(f"cannot simplify {formula!r}")

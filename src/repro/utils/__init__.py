@@ -1,0 +1,17 @@
+"""Shared utilities: rational rounding, RNG plumbing, timing, tables."""
+
+from repro.utils.rational import (
+    round_to_rational,
+    scale_to_integer_coeffs,
+    nice_coefficients,
+)
+from repro.utils.timing import Stopwatch
+from repro.utils.table import format_table
+
+__all__ = [
+    "round_to_rational",
+    "scale_to_integer_coeffs",
+    "nice_coefficients",
+    "Stopwatch",
+    "format_table",
+]

@@ -1,0 +1,47 @@
+"""Plain-text table formatting for benchmark harness output.
+
+The benchmark harnesses print the same rows the paper's tables report;
+this module renders them with aligned columns so the output is directly
+comparable to the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    Args:
+        headers: column headers.
+        rows: table body; each cell is converted with ``str``.
+        title: optional title line printed above the table.
+
+    Returns:
+        The formatted table as a single string.
+    """
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row!r}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    lines.append(fmt_row(["-" * w for w in widths]))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)

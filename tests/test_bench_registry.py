@@ -1,0 +1,85 @@
+"""Tests for the benchmark registries (NLA, Code2Inv-like, stability)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.bench import NLA_PROBLEMS, code2inv_problems, nla_problem, stability_problems
+from repro.errors import ReproError
+from repro.sampling import collect_traces, loop_dataset
+from repro.sampling.termgen import extend_state
+
+
+def test_nla_has_27_problems():
+    assert len(NLA_PROBLEMS) == 27
+    assert sum(1 for e in NLA_PROBLEMS if not e.expected_solved) == 1  # knuth
+
+
+def test_nla_metadata_matches_table2():
+    by_name = {e.name: e for e in NLA_PROBLEMS}
+    assert by_name["ps6"].degree == 6
+    assert by_name["egcd3"].n_vars == 13
+    assert not by_name["knuth"].expected_solved
+
+
+def test_unknown_problem_rejected():
+    with pytest.raises(ReproError):
+        nla_problem("nosuch")
+
+
+@pytest.mark.parametrize("entry", NLA_PROBLEMS, ids=lambda e: e.name)
+def test_nla_programs_parse_and_run(entry):
+    problem = nla_problem(entry.name)
+    program = problem.program  # parses
+    traces = collect_traces(program, problem.train_inputs[:12])
+    assert traces
+    assert not any(t.assertion_failures for t in traces)
+
+
+@pytest.mark.parametrize(
+    "name", ["sqrt1", "cohencu", "ps2", "geo1", "prodbin", "freire2"]
+)
+def test_nla_ground_truth_holds_on_traces(name):
+    problem = nla_problem(name)
+    traces = collect_traces(problem.program, problem.train_inputs[:30])
+    for loop_index, sources in problem.ground_truth.items():
+        states = loop_dataset(traces, loop_index, max_states=100)
+        for atom in problem.ground_truth_atoms(loop_index):
+            for state in states:
+                ext = (
+                    extend_state(state, problem.externals)
+                    if problem.externals
+                    else state
+                )
+                exact = {k: Fraction(v) for k, v in ext.items()}
+                assert atom.evaluate(exact), f"{name}: {atom} fails at {state}"
+
+
+def test_code2inv_suite_size_and_determinism():
+    problems = code2inv_problems()
+    assert len(problems) == 124
+    names = [p.name for p in problems]
+    assert len(set(names)) == 124
+    again = [p.name for p in code2inv_problems()]
+    assert names == again
+
+
+def test_code2inv_programs_run_clean():
+    for problem in code2inv_problems()[::17]:
+        traces = collect_traces(problem.program, problem.train_inputs[:6])
+        assert not any(t.assertion_failures for t in traces)
+
+
+def test_stability_problem_set():
+    problems = stability_problems()
+    assert set(problems) == {
+        "Conj Eq",
+        "Disj Eq",
+        "Code2Inv 1",
+        "Code2Inv 11",
+        "ps2",
+        "ps3",
+    }
+    for problem in problems.values():
+        traces = collect_traces(problem.program, problem.train_inputs[:10])
+        assert not any(t.assertion_failures for t in traces)

@@ -1,0 +1,122 @@
+"""Tests for the hybrid invariant checker (the Z3 substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.checker import CheckOutcome, InvariantChecker
+from repro.checker.symbolic import equality_inductive_symbolic
+from repro.infer.problem import parse_ground_truth
+from repro.lang import parse_program
+from repro.lang.analysis import extract_loop_paths
+from repro.smt.formula import And, Atom
+from tests.conftest import SQRT1_SOURCE
+from tests.test_polynomial import P
+
+
+@pytest.fixture(scope="module")
+def sqrt1_checker():
+    program = parse_program(SQRT1_SOURCE)
+    return InvariantChecker(
+        program,
+        [{"n": v} for v in range(0, 60)],
+        rng=np.random.default_rng(7),
+    )
+
+
+def test_symbolic_inductive_valid(sqrt1_program):
+    paths = extract_loop_paths(sqrt1_program.loops[0])
+    atom = parse_ground_truth("t == 2*a + 1")
+    verdict = equality_inductive_symbolic(atom.poly, [atom.poly], paths)
+    assert verdict is CheckOutcome.VALID
+
+
+def test_symbolic_inductive_needs_companions(sqrt1_program):
+    paths = extract_loop_paths(sqrt1_program.loops[0])
+    # s = (a+1)^2 is only inductive together with t = 2a + 1.
+    s_atom = parse_ground_truth("s == (a + 1) * (a + 1)")
+    alone = equality_inductive_symbolic(s_atom.poly, [s_atom.poly], paths)
+    assert alone is CheckOutcome.UNKNOWN
+    t_atom = parse_ground_truth("t == 2*a + 1")
+    together = equality_inductive_symbolic(
+        s_atom.poly, [s_atom.poly, t_atom.poly], paths
+    )
+    assert together is CheckOutcome.VALID
+
+
+def test_reachable_check_accepts_truth(sqrt1_checker):
+    atom = parse_ground_truth("t == 2*a + 1")
+    outcome, cex = sqrt1_checker.bounded.holds_on_reachable(
+        atom, 0, sqrt1_checker.traces
+    )
+    assert outcome is CheckOutcome.VALID and cex is None
+
+
+def test_reachable_check_rejects_falsehood(sqrt1_checker):
+    atom = parse_ground_truth("t == 2*a")
+    outcome, cex = sqrt1_checker.bounded.holds_on_reachable(
+        atom, 0, sqrt1_checker.traces
+    )
+    assert outcome is CheckOutcome.INVALID
+    assert cex is not None and cex["t"] != 2 * cex["a"]
+
+
+def test_filter_sound_atoms_prunes_noninductive(sqrt1_checker):
+    good = [
+        parse_ground_truth("t == 2*a + 1"),
+        parse_ground_truth("s == (a + 1) * (a + 1)"),
+    ]
+    # False on some reachable state within the checking input range:
+    # s <= 3t + 10 breaks once a > 6.
+    shaky = parse_ground_truth("s <= 3 * t + 10")
+    result = sqrt1_checker.filter_sound_atoms(0, good + [shaky])
+    kept = {str(a) for a in result.sound}
+    assert str(good[0]) in kept and str(good[1]) in kept
+    assert str(shaky) not in kept
+    assert result.rejected and result.counterexamples
+
+
+def test_check_invariant_valid_report(sqrt1_checker, sqrt1_program):
+    invariant = And(
+        [
+            parse_ground_truth("t == 2*a + 1"),
+            parse_ground_truth("s == (a + 1) * (a + 1)"),
+            parse_ground_truth("n >= a * a"),
+        ]
+    )
+    posts = [s.cond for s in sqrt1_program.asserts]
+    report = sqrt1_checker.check_invariant(0, invariant, posts)
+    assert report.precondition is CheckOutcome.VALID
+    assert report.inductive is CheckOutcome.VALID
+    assert report.postcondition is CheckOutcome.VALID
+    assert report.is_valid
+
+
+def test_check_invariant_insufficient_post(sqrt1_checker, sqrt1_program):
+    # Equalities alone cannot prove a*a <= n.
+    invariant = And([parse_ground_truth("t == 2*a + 1")])
+    posts = [s.cond for s in sqrt1_program.asserts]
+    report = sqrt1_checker.check_invariant(0, invariant, posts)
+    assert report.postcondition is CheckOutcome.INVALID
+    assert report.counterexamples
+
+
+def test_check_invariant_invalid_on_reachable(sqrt1_checker):
+    report = sqrt1_checker.check_invariant(
+        0, And([parse_ground_truth("a == 1")]), []
+    )
+    assert report.outcome is CheckOutcome.INVALID
+
+
+def test_guard_fn_uses_interpreter_semantics():
+    program = parse_program(
+        """
+program modguard;
+input n;
+x = n;
+while (mod(x, 2) == 0) { x = x / 2; }
+"""
+    )
+    checker = InvariantChecker(program, [{"n": v} for v in range(1, 20)])
+    guard = checker.bounded.guard_fn(program.loops[0])
+    assert guard({"n": 4, "x": 4})
+    assert not guard({"n": 4, "x": 3})

@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_assignment, build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "sqrt1" in out and "ps6" in out and "knuth" in out
+
+
+def test_trace_command(capsys):
+    assert main(["trace", "ps2", "--inputs", "k=4"]) == 0
+    out = capsys.readouterr().out
+    assert "loop" in out and "iter" in out
+    # 4 passing guard tests + exit snapshot.
+    assert len(out.strip().splitlines()) >= 6
+
+
+def test_trace_assume_violation(capsys):
+    assert main(["trace", "ps2", "--inputs", "k=-3"]) == 1
+    assert "assume violated" in capsys.readouterr().out
+
+
+def test_parse_assignment():
+    parsed = _parse_assignment(["k=5", "r=3/2"])
+    assert parsed["k"] == 5
+    from fractions import Fraction
+
+    assert parsed["r"] == Fraction(3, 2)
+
+
+def test_parse_assignment_errors():
+    with pytest.raises(SystemExit):
+        _parse_assignment(["k"])
+    with pytest.raises(SystemExit):
+        _parse_assignment(["k=abc"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+@pytest.mark.slow
+def test_run_command(capsys):
+    code = main(["run", "ps2", "--epochs", "1200"])
+    out = capsys.readouterr().out
+    assert "invariant:" in out
+    assert code in (0, 1)

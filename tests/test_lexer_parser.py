@@ -1,0 +1,151 @@
+"""Tests for the mini-language lexer and parser."""
+
+import pytest
+
+from repro.errors import LexError, ParseError
+from repro.lang.ast import Assign, Binary, Call, If, IntLit, Var, While
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse_expr, parse_program
+from repro.lang.pretty import pretty_expr, pretty_program
+
+
+def test_tokenize_basic():
+    tokens = tokenize("x = 12 + y;")
+    kinds = [t.kind for t in tokens]
+    assert kinds == ["ident", "op", "int", "op", "ident", "op", "eof"]
+
+
+def test_tokenize_multichar_operators():
+    tokens = tokenize("a <= b && c == d || !e")
+    texts = [t.text for t in tokens if t.kind == "op"]
+    assert texts == ["<=", "&&", "==", "||", "!"]
+
+
+def test_tokenize_comments():
+    tokens = tokenize("x = 1; // comment\ny = 2;")
+    assert sum(1 for t in tokens if t.kind == "ident") == 2
+
+
+def test_tokenize_reports_position():
+    with pytest.raises(LexError) as err:
+        tokenize("x = $;")
+    assert "line 1" in str(err.value)
+
+
+def test_parse_precedence():
+    expr = parse_expr("1 + 2 * 3")
+    assert isinstance(expr, Binary) and expr.op == "+"
+    assert isinstance(expr.right, Binary) and expr.right.op == "*"
+
+
+def test_parse_parentheses():
+    expr = parse_expr("(1 + 2) * 3")
+    assert isinstance(expr, Binary) and expr.op == "*"
+
+
+def test_parse_comparison_and_bool():
+    expr = parse_expr("x <= y && y < z || !b")
+    assert isinstance(expr, Binary) and expr.op == "||"
+
+
+def test_parse_call():
+    expr = parse_expr("gcd(x, y)")
+    assert isinstance(expr, Call)
+    assert expr.func == "gcd" and len(expr.args) == 2
+
+
+def test_parse_unary_minus():
+    expr = parse_expr("-x + 1")
+    assert isinstance(expr, Binary) and expr.op == "+"
+
+
+def test_parse_trailing_garbage_rejected():
+    with pytest.raises(ParseError):
+        parse_expr("x + 1 y")
+
+
+def test_parse_program_structure():
+    program = parse_program(
+        """
+program demo;
+input n;
+assume (n >= 0);
+x = 0;
+while (x < n) { x = x + 1; }
+assert (x == n);
+"""
+    )
+    assert program.name == "demo"
+    assert program.inputs == ["n"]
+    assert len(program.loops) == 1
+    assert len(program.assumes) == 1
+    assert len(program.asserts) == 1
+
+
+def test_parse_nested_loops_get_ordered_ids():
+    program = parse_program(
+        """
+program nested;
+input n;
+i = 0;
+while (i < n) {
+  j = 0;
+  while (j < i) { j = j + 1; }
+  i = i + 1;
+}
+"""
+    )
+    assert [loop.loop_id for loop in program.loops] == [0, 1]
+    outer, inner = program.loops
+    assert isinstance(outer.body.statements[1], While)
+    assert outer.body.statements[1] is inner
+
+
+def test_parse_if_else_chain():
+    program = parse_program(
+        """
+program branches;
+input n;
+x = 0;
+if (n > 0) { x = 1; }
+else { if (n < 0) { x = 2; } else { x = 3; } }
+"""
+    )
+    top = program.body.statements[1]
+    assert isinstance(top, If) and top.else_body is not None
+    nested = top.else_body.statements[0]
+    assert isinstance(nested, If) and nested.else_body is not None
+
+
+def test_missing_semicolon_rejected():
+    with pytest.raises(ParseError):
+        parse_program("program p;\nx = 1")
+
+
+def test_unterminated_block_rejected():
+    with pytest.raises(ParseError):
+        parse_program("program p;\nwhile (true) { x = 1;")
+
+
+def test_pretty_roundtrip():
+    source = """
+program roundtrip;
+input n, m;
+assume (n >= 0);
+x = 0; y = 1;
+while (x < n) {
+  if (x > m) { y = y * 2; }
+  else { y = y + gcd(x, n); }
+  x = x + 1;
+}
+assert (y >= 1);
+"""
+    program = parse_program(source)
+    printed = pretty_program(program)
+    reparsed = parse_program(printed)
+    assert pretty_program(reparsed) == printed
+
+
+def test_pretty_expr_minimal_parens():
+    assert pretty_expr(parse_expr("(x + y) * z")) == "(x + y) * z"
+    assert pretty_expr(parse_expr("x + y * z")) == "x + y * z"

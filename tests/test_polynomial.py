@@ -1,0 +1,147 @@
+"""Unit tests for repro.poly.polynomial."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import PolyError
+from repro.poly.monomial import Monomial
+from repro.poly.polynomial import Polynomial
+
+
+def P(src: str) -> Polynomial:
+    """Parse a polynomial via the mini-language expression parser."""
+    from repro.lang.parser import parse_expr
+    from repro.smt.convert import arith_to_polynomial
+
+    return arith_to_polynomial(parse_expr(src))
+
+
+def test_zero_and_constant():
+    assert Polynomial.zero().is_zero()
+    assert Polynomial.constant(5).is_constant()
+    assert Polynomial.constant(0).is_zero()
+
+
+def test_addition_cancels():
+    x = Polynomial.var("x")
+    assert (x - x).is_zero()
+
+
+def test_string_rendering():
+    poly = P("x*x - 2*x + 1")
+    assert str(poly) == "x^2 - 2*x + 1"
+
+
+def test_arith_matches_reference():
+    poly = P("(x + y) * (x - y)")
+    assert poly == P("x*x - y*y")
+
+
+def test_pow():
+    assert P("x + 1") ** 3 == P("x*x*x + 3*x*x + 3*x + 1")
+
+
+def test_pow_negative_rejected():
+    with pytest.raises(PolyError):
+        P("x") ** -1
+
+
+def test_substitute_linear():
+    poly = P("x * x + y")
+    result = poly.substitute({"x": P("y + 1")})
+    assert result == P("y*y + 3*y + 1")
+
+
+def test_substitute_untouched_variables():
+    poly = P("x + z")
+    assert poly.substitute({"x": P("2*z")}) == P("3*z")
+
+
+def test_evaluate_exact():
+    poly = P("x*x - y")
+    assert poly.evaluate({"x": Fraction(3, 2), "y": 2}) == Fraction(1, 4)
+
+
+def test_evaluate_missing_variable():
+    with pytest.raises(PolyError):
+        P("x").evaluate({})
+
+
+def test_evaluate_float():
+    assert P("2*x + 1").evaluate_float({"x": 0.5}) == pytest.approx(2.0)
+
+
+def test_leading_term_graded_lex():
+    mono, coeff = P("3*x*x + 5*y + 7").leading_term()
+    assert mono == Monomial({"x": 2})
+    assert coeff == 3
+
+
+def test_leading_term_of_zero_rejected():
+    with pytest.raises(PolyError):
+        Polynomial.zero().leading_term()
+
+
+def test_primitive_clears_denominators():
+    poly = P("x").scale(Fraction(1, 2)) + P("y").scale(Fraction(1, 3))
+    prim = poly.primitive()
+    assert prim == P("3*x + 2*y")
+
+
+def test_primitive_sign_flip_for_equalities():
+    prim = P("0 - x*x + y").primitive()
+    assert prim == P("x*x - y")
+
+
+def test_primitive_preserve_sign():
+    prim = P("0 - x*x + y").primitive(preserve_sign=True)
+    assert prim == P("y - x*x")
+
+
+def test_degree():
+    assert P("x*y*y + x").degree == 3
+    assert Polynomial.zero().degree == 0
+
+
+def test_variables():
+    assert P("x*y + z").variables == frozenset({"x", "y", "z"})
+
+
+def test_float_coefficient_rejected():
+    with pytest.raises(PolyError):
+        Polynomial({Monomial.var("x"): 0.5})
+
+
+_small_polys = st.builds(
+    lambda coeffs: Polynomial(
+        {
+            Monomial({"x": i % 3, "y": i // 3}): c
+            for i, c in enumerate(coeffs)
+        }
+    ),
+    st.lists(st.integers(-5, 5), min_size=1, max_size=6),
+)
+
+
+@given(_small_polys, _small_polys)
+def test_addition_commutative(p, q):
+    assert p + q == q + p
+
+
+@given(_small_polys, _small_polys, _small_polys)
+def test_distributivity(p, q, r):
+    assert p * (q + r) == p * q + p * r
+
+
+@given(_small_polys)
+def test_subtraction_self_is_zero(p):
+    assert (p - p).is_zero()
+
+
+@given(_small_polys, st.integers(-3, 3), st.integers(-3, 3))
+def test_evaluation_is_ring_homomorphism(p, x, y):
+    q = p * p + p
+    point = {"x": x, "y": y}
+    assert q.evaluate(point) == p.evaluate(point) ** 2 + p.evaluate(point)

@@ -1,0 +1,161 @@
+"""Cross-module property tests tying the substrates together.
+
+These check the semantic contracts the pipeline relies on:
+
+* symbolic path updates agree with the interpreter stepping the loop
+  body (the foundation of the symbolic inductiveness check);
+* formula simplification preserves evaluation;
+* fractional relaxation with zero offsets is semantics-preserving;
+* normalization never changes which homogeneous constraints fit.
+"""
+
+from fractions import Fraction
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import parse_program
+from repro.lang.analysis import extract_loop_paths
+from repro.lang.interp import Interpreter
+from repro.sampling import fractional_inputs, normalize_rows, relax_initializers
+from repro.smt.formula import And, Atom, Not, Or
+from repro.smt.simplify import simplify
+from tests.test_polynomial import P
+
+_SQRT_BODY_PROGRAM = parse_program(
+    """
+program sym;
+input n;
+a = 0; s = 1; t = 1;
+while (s <= n) { a = a + 1; t = t + 2; s = s + t; }
+"""
+)
+
+_BRANCHY_PROGRAM = parse_program(
+    """
+program branchy;
+input n;
+x = 0; y = 0; i = 0;
+while (i < n) {
+  if (x > y) { y = y + 2 * x; x = x - 1; }
+  else { x = x + 3; y = y - x; }
+  i = i + 1;
+}
+"""
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(-20, 20),
+    st.integers(-20, 20),
+    st.integers(-20, 20),
+    st.integers(0, 20),
+)
+def test_symbolic_paths_match_interpreter(a, s, t, n):
+    """Evaluating the path-update polynomials at a pre-state equals
+    executing the loop body from that state."""
+    program = _SQRT_BODY_PROGRAM
+    loop = program.loops[0]
+    paths = extract_loop_paths(loop)
+    assert paths is not None and len(paths) == 1
+    state = {"a": a, "s": s, "t": t, "n": n}
+    interp = Interpreter(program)
+    after = interp.execute_block(loop.body, state)
+    for var, poly in paths[0].updates.items():
+        assert poly.evaluate({k: Fraction(v) for k, v in state.items()}) == after[var]
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(-10, 10), st.integers(-10, 10), st.integers(-10, 10))
+def test_branching_paths_cover_interpreter(x, y, i):
+    """Exactly one path's conditions hold, and its updates match."""
+    program = _BRANCHY_PROGRAM
+    loop = program.loops[0]
+    paths = extract_loop_paths(loop)
+    assert paths is not None and len(paths) == 2
+    state = {"x": x, "y": y, "i": i, "n": 100}
+    interp = Interpreter(program)
+    after = interp.execute_block(loop.body, state)
+    matching = []
+    for path in paths:
+        holds = all(
+            bool(interp._eval(cond, dict(state))) == polarity
+            for cond, polarity in path.conditions
+        )
+        if holds:
+            matching.append(path)
+    assert len(matching) == 1
+    exact_state = {k: Fraction(v) for k, v in state.items()}
+    for var, poly in matching[0].updates.items():
+        assert poly.evaluate(exact_state) == after[var]
+
+
+_atoms = st.sampled_from(
+    [
+        Atom(P("x - 1"), "=="),
+        Atom(P("x + y"), ">="),
+        Atom(P("y - 2"), "<"),
+        Atom(P("x*y - 4"), "!="),
+        Atom(P("x - y"), "<="),
+    ]
+)
+
+
+def _formulas(depth: int):
+    if depth == 0:
+        return _atoms
+    sub = _formulas(depth - 1)
+    return st.one_of(
+        _atoms,
+        st.builds(Not, sub),
+        st.builds(lambda a, b: And([a, b]), sub, sub),
+        st.builds(lambda a, b: Or([a, b]), sub, sub),
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(_formulas(3), st.integers(-4, 4), st.integers(-4, 4))
+def test_simplify_preserves_evaluation(formula, x, y):
+    point = {"x": Fraction(x), "y": Fraction(y)}
+    assert simplify(formula).evaluate(point) == formula.evaluate(point)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 12))
+def test_fractional_zero_offset_preserves_semantics(k):
+    program = parse_program(
+        """
+program frac;
+input k;
+assume (k >= 0);
+x = 0; y = 0;
+while (y < k) { y = y + 1; x = x + y * y; }
+"""
+    )
+    relaxed, names = relax_initializers(program)
+    zero = {name + "__frac": 0 for name in names}
+    base = Interpreter(program).run({"k": k})
+    lifted = Interpreter(relaxed).run({"k": k, **zero})
+    assert base.final_state["x"] == lifted.final_state["x"]
+    assert len(base.snapshots) == len(lifted.snapshots)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.lists(st.floats(-100, 100), min_size=3, max_size=3),
+        min_size=1,
+        max_size=6,
+    ),
+    st.lists(st.floats(-3, 3), min_size=3, max_size=3),
+)
+def test_normalization_preserves_constraint_satisfaction(rows, w):
+    matrix = np.array(rows)
+    weights = np.array(w)
+    normalized = normalize_rows(matrix)
+    raw_sign = np.sign(np.round(matrix @ weights, 12))
+    norm_sign = np.sign(np.round(normalized @ weights, 12))
+    # Row scaling by a positive constant preserves the sign of w·x.
+    mask = np.linalg.norm(matrix, axis=1) > 1e-9
+    assert np.array_equal(raw_sign[mask], norm_sign[mask])

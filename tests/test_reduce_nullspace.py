@@ -1,0 +1,98 @@
+"""Tests for polynomial reduction and exact nullspace computation."""
+
+from fractions import Fraction
+
+from hypothesis import given, strategies as st
+
+from repro.poly.nullspace import rational_nullspace
+from repro.poly.reduce import inter_reduce, is_implied_equality, reduce_modulo
+from tests.test_polynomial import P
+
+
+def test_reduce_exact_multiple():
+    remainder = reduce_modulo(P("x*y - 2*y"), [P("x - 2")])
+    assert remainder.is_zero()
+
+
+def test_reduce_leaves_independent_poly():
+    remainder = reduce_modulo(P("y - 1"), [P("x - 2")])
+    assert remainder == P("y - 1")
+
+
+def test_reduce_prefers_largest_lead():
+    # Cancelling r^3 via the lead-r^2 reducer would spiral; the lead-r^3
+    # reducer must be preferred (freire2 regression).
+    a1 = P("12*r*r - 4*s + 1")
+    a2 = P("4*r*r*r - 6*r*r + 3*r + 4*x - 4*a - 1")
+    stepped = a2.substitute(
+        {"x": P("x - s"), "s": P("s + 6*r + 3"), "r": P("r + 1")}
+    )
+    assert reduce_modulo(stepped, [a1, a2]).is_zero()
+
+
+def test_inter_reduce_exposes_derived_equality():
+    basis = inter_reduce([P("t - 2*a - 1"), P("t*t + 2*t - 4*s + 1")])
+    target = P("s - a*a - 2*a - 1")
+    assert reduce_modulo(target, basis).is_zero()
+
+
+def test_is_implied_equality():
+    assert is_implied_equality(
+        P("s - a*a - 2*a - 1"),
+        [P("t - 2*a - 1"), P("t*t + 2*t - 4*s + 1")],
+    )
+    assert not is_implied_equality(P("s - a"), [P("t - 2*a - 1")])
+
+
+def test_implied_zero_trivially():
+    assert is_implied_equality(P("x - x"), [])
+
+
+def test_nullspace_simple():
+    basis = rational_nullspace([[1, 1], [2, 2]])
+    assert len(basis) == 1
+    v = basis[0]
+    assert v[0] + v[1] == 0
+
+
+def test_nullspace_full_rank():
+    assert rational_nullspace([[1, 0], [0, 1]]) == []
+
+
+def test_nullspace_exact_fractions():
+    basis = rational_nullspace([[Fraction(1, 3), Fraction(1, 6)]])
+    assert len(basis) == 1
+    v = basis[0]
+    assert Fraction(1, 3) * v[0] + Fraction(1, 6) * v[1] == 0
+
+
+def test_nullspace_empty_matrix():
+    assert rational_nullspace([]) == []
+
+
+@given(
+    st.lists(
+        st.lists(st.integers(-4, 4), min_size=3, max_size=3),
+        min_size=1,
+        max_size=5,
+    )
+)
+def test_nullspace_vectors_annihilate(rows):
+    for vec in rational_nullspace(rows):
+        for row in rows:
+            assert sum(Fraction(r) * c for r, c in zip(row, vec)) == 0
+
+
+@given(
+    st.lists(
+        st.lists(st.integers(-3, 3), min_size=4, max_size=4),
+        min_size=1,
+        max_size=3,
+    )
+)
+def test_nullspace_dimension_rank_nullity(rows):
+    import numpy as np
+
+    rank = np.linalg.matrix_rank(np.array(rows, dtype=float))
+    basis = rational_nullspace(rows)
+    assert len(basis) == 4 - rank

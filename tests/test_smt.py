@@ -1,0 +1,121 @@
+"""Tests for the SMT formula IR: evaluation, simplification, printing."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import FormulaError
+from repro.lang.parser import parse_expr
+from repro.smt import (
+    And,
+    Atom,
+    FALSE,
+    Not,
+    Or,
+    TRUE,
+    expr_to_formula,
+    format_formula,
+    simplify,
+)
+from tests.test_polynomial import P
+
+
+def atom(src: str, op: str = "==") -> Atom:
+    return Atom(P(src), op)
+
+
+def test_atom_evaluation_ops():
+    point = {"x": Fraction(2)}
+    assert atom("x - 2").evaluate(point)
+    assert atom("x - 3", "!=").evaluate(point)
+    assert atom("x - 3", "<").evaluate(point)
+    assert atom("x - 2", "<=").evaluate(point)
+    assert atom("x - 1", ">").evaluate(point)
+    assert atom("x - 2", ">=").evaluate(point)
+
+
+def test_atom_bad_op_rejected():
+    with pytest.raises(FormulaError):
+        Atom(P("x"), "=>")
+
+
+def test_connective_evaluation():
+    f = And([atom("x"), Or([atom("y"), atom("y - 1")])])
+    assert f.evaluate({"x": 0, "y": 1})
+    assert not f.evaluate({"x": 1, "y": 1})
+    assert Not(atom("x")).evaluate({"x": 5})
+
+
+def test_empty_connectives():
+    assert And([]).evaluate({})
+    assert not Or([]).evaluate({})
+
+
+def test_atom_float_evaluation_tolerance():
+    assert atom("x").evaluate_float({"x": 1e-9})
+    assert not atom("x").evaluate_float({"x": 1e-3})
+
+
+def test_expr_to_formula_comparison():
+    f = expr_to_formula(parse_expr("x + 1 >= y"))
+    assert isinstance(f, Atom) and f.op == ">="
+    assert f.poly == P("x + 1 - y")
+
+
+def test_expr_to_formula_connectives():
+    f = expr_to_formula(parse_expr("x == 0 && (y > 1 || !(z <= 2))"))
+    assert isinstance(f, And)
+    assert f.evaluate({"x": 0, "y": 0, "z": 3})
+
+
+def test_expr_to_formula_rejects_arithmetic():
+    with pytest.raises(FormulaError):
+        expr_to_formula(parse_expr("x + 1"))
+
+
+def test_expr_to_formula_external_calls():
+    f = expr_to_formula(parse_expr("gcd(a, b) == gcd(x, y)"))
+    assert isinstance(f, Atom)
+    assert "gcd(a,b)" in {str(v) for v in f.poly.variables}
+    assert f.evaluate({"gcd(a,b)": 3, "gcd(x,y)": 3})
+
+
+def test_simplify_flattens_and_dedups():
+    f = And([And([atom("x"), atom("x")]), atom("y")])
+    simplified = simplify(f)
+    assert isinstance(simplified, And)
+    assert len(simplified.children) == 2
+
+
+def test_simplify_constants():
+    assert simplify(And([TRUE, atom("x")])) == simplify(atom("x"))
+    assert simplify(And([FALSE, atom("x")])) == FALSE
+    assert simplify(Or([TRUE, atom("x")])) == TRUE
+    assert simplify(Not(Not(atom("x")))) == simplify(atom("x"))
+
+
+def test_simplify_pushes_negation_into_atom():
+    result = simplify(Not(atom("x", ">=")))
+    assert isinstance(result, Atom) and result.op == "<"
+
+
+def test_simplify_ground_atom():
+    assert simplify(Atom(P("1"), ">=")) == TRUE
+    assert simplify(Atom(P("0 - 1"), ">=")) == FALSE
+
+
+def test_simplify_preserves_inequality_sign():
+    result = simplify(Atom(P("y - x*x"), ">="))
+    assert isinstance(result, Atom)
+    assert result.poly == P("y - x*x")
+
+
+def test_format_formula():
+    f = And([atom("t - 2*a - 1"), atom("n - a*a", ">=")])
+    text = format_formula(f)
+    assert text == "(t - 2*a - 1 == 0) && (-a^2 + n >= 0)"
+
+
+def test_formula_operators():
+    f = atom("x") & atom("y") | ~atom("z")
+    assert f.evaluate({"x": 1, "y": 1, "z": 1})

@@ -1,0 +1,135 @@
+"""Tests for t-norms, gated t-norms/t-conorms, and activation functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.autodiff import Tensor
+from repro.cln.activations import (
+    gaussian_equality,
+    gaussian_equality_numpy,
+    pbqu_ge,
+    pbqu_ge_numpy,
+    pbqu_le,
+    sigmoid_ge,
+    sigmoid_ge_numpy,
+)
+from repro.cln.tnorms import (
+    gated_tconorm,
+    gated_tnorm,
+    godel_tconorm,
+    godel_tnorm,
+    product_tconorm,
+    product_tnorm,
+)
+
+unit_floats = st.floats(0.0, 1.0)
+
+
+def T(*values):
+    return Tensor(np.array(values, dtype=float))
+
+
+def test_product_tnorm_tconorm():
+    v = T([0.5, 0.5], [1.0, 0.0])
+    np.testing.assert_allclose(product_tnorm(v).data, [0.25, 0.0])
+    np.testing.assert_allclose(product_tconorm(v).data, [0.75, 1.0])
+
+
+def test_godel():
+    a, b = T(0.3), T(0.8)
+    assert godel_tnorm(a, b).item() == 0.3
+    assert godel_tconorm(a, b).item() == 0.8
+
+
+@given(unit_floats, unit_floats)
+def test_gated_tnorm_corner_semantics(x, y):
+    """The paper's four-case table for gated t-norms (§4.1)."""
+    values = T([x, y])
+    assert gated_tnorm(values, T([1.0, 1.0])).item() == pytest.approx(x * y)
+    assert gated_tnorm(values, T([1.0, 0.0])).item() == pytest.approx(x)
+    assert gated_tnorm(values, T([0.0, 1.0])).item() == pytest.approx(y)
+    assert gated_tnorm(values, T([0.0, 0.0])).item() == pytest.approx(1.0)
+
+
+@given(unit_floats, unit_floats)
+def test_gated_tconorm_corner_semantics(x, y):
+    values = T([x, y])
+    expected_or = 1 - (1 - x) * (1 - y)
+    assert gated_tconorm(values, T([1.0, 1.0])).item() == pytest.approx(expected_or)
+    assert gated_tconorm(values, T([1.0, 0.0])).item() == pytest.approx(x)
+    assert gated_tconorm(values, T([0.0, 1.0])).item() == pytest.approx(y)
+    assert gated_tconorm(values, T([0.0, 0.0])).item() == pytest.approx(0.0)
+
+
+@given(unit_floats, unit_floats, unit_floats, unit_floats)
+def test_gated_tnorm_monotone_in_inputs(x1, x2, y, g):
+    lo, hi = min(x1, x2), max(x1, x2)
+    v_lo = gated_tnorm(T([lo, y]), T([g, 1.0])).item()
+    v_hi = gated_tnorm(T([hi, y]), T([g, 1.0])).item()
+    assert v_lo <= v_hi + 1e-12
+
+
+def test_gaussian_equality_peak():
+    values = gaussian_equality(T(0.0, 0.5, -0.5), sigma=0.5).data
+    assert values[0] == pytest.approx(1.0)
+    assert values[1] == values[2] < 1.0
+
+
+def test_pbqu_asymmetry():
+    """PBQU penalizes violations sharply and loose fits gently (Fig. 7b)."""
+    act = pbqu_ge(T(-1.0, 0.0, 1.0, 30.0), c1=0.5, c2=50.0).data
+    assert act[1] == pytest.approx(1.0)
+    assert act[0] < 0.25          # below the bound: strong penalty
+    assert act[2] > 0.99          # slightly above: near 1
+    assert 0.5 < act[3] < 1.0     # far above: penalized (tightness pressure)
+
+
+def test_pbqu_le_mirror():
+    ge = pbqu_ge(T(2.0), c1=1.0, c2=10.0).item()
+    le = pbqu_le(T(-2.0), c1=1.0, c2=10.0).item()
+    assert ge == pytest.approx(le)
+
+
+def test_pbqu_rejects_bad_constants():
+    from repro.errors import AutodiffError
+
+    with pytest.raises(AutodiffError):
+        pbqu_ge(T(1.0), c1=0.0)
+
+
+def test_sigmoid_ge_monotone():
+    values = sigmoid_ge(T(-3.0, 0.0, 3.0), B=5.0, eps=0.5).data
+    assert values[0] < values[1] < values[2]
+
+
+def test_numpy_twins_match_tensor_versions():
+    xs = np.linspace(-3, 3, 13)
+    np.testing.assert_allclose(
+        pbqu_ge_numpy(xs, 1.0, 50.0), pbqu_ge(Tensor(xs), 1.0, 50.0).data
+    )
+    np.testing.assert_allclose(
+        gaussian_equality_numpy(xs, 0.5), gaussian_equality(Tensor(xs), 0.5).data
+    )
+    np.testing.assert_allclose(
+        sigmoid_ge_numpy(xs, 5.0, 0.5), sigmoid_ge(Tensor(xs), 5.0, 0.5).data
+    )
+
+
+def test_fig2_formula_shape():
+    """The CLN of F(x) = (x=1) || (x>=5) || (x>=2 && x<=3) peaks correctly."""
+    def model(x: float) -> float:
+        xt = Tensor(np.array([x]))
+        eq1 = gaussian_equality(xt - 1.0, sigma=0.3)
+        ge5 = pbqu_ge(xt - 5.0, c1=0.5, c2=50.0)
+        band = pbqu_ge(xt - 2.0, c1=0.5, c2=50.0) * pbqu_le(xt - 3.0, c1=0.5, c2=50.0)
+        stacked = Tensor(
+            np.array([eq1.data[0], ge5.data[0], band.data[0]])
+        )
+        return product_tconorm(stacked, axis=0).item()
+
+    assert model(1.0) > 0.9
+    assert model(2.5) > 0.9
+    assert model(5.0) > 0.9
+    assert model(4.2) < 0.6
+    assert model(0.0) < 0.6
