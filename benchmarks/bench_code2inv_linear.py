@@ -7,12 +7,13 @@ for the substitution) and report solved count and times.
 
 from __future__ import annotations
 
-import time
+import os
 
 import pytest
 
-from repro.bench.code2inv import code2inv_problems
-from repro.infer import InferenceConfig, infer_invariants
+from repro.bench.code2inv import code2inv_suite
+from repro.infer import InferenceConfig
+from repro.infer.runner import run_many
 from repro.utils import format_table
 
 from benchmarks.conftest import full_mode
@@ -20,32 +21,20 @@ from benchmarks.conftest import full_mode
 
 @pytest.mark.benchmark(group="code2inv")
 def test_code2inv_linear_suite(benchmark, emit):
-    problems = code2inv_problems()
-    if not full_mode():
-        problems = problems[::8]  # 16 representative instances
+    # 16 representative instances in quick mode, all 124 in full mode.
+    problems = code2inv_suite(stride=1 if full_mode() else 8)
     config = InferenceConfig(
         max_epochs=900,
         dropout_schedule=(0.4, 0.6),
     )
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
     def run():
-        solved = 0
-        slowest = 0.0
-        times = []
-        failures = []
-        for problem in problems:
-            start = time.perf_counter()
-            try:
-                result = infer_invariants(problem, config)
-                ok = result.solved
-            except Exception:
-                ok = False
-            elapsed = time.perf_counter() - start
-            times.append(elapsed)
-            slowest = max(slowest, elapsed)
-            solved += ok
-            if not ok:
-                failures.append(problem.name)
+        records = run_many(problems, config, jobs=jobs)
+        times = [r.runtime_seconds for r in records]
+        solved = sum(1 for r in records if r.solved)
+        slowest = max(times, default=0.0)
+        failures = [r.name for r in records if not r.solved]
         return solved, times, slowest, failures
 
     solved, times, slowest, failures = benchmark.pedantic(

@@ -12,14 +12,14 @@ and G-CLN (full pipeline), plus G-CLN runtime.
 
 from __future__ import annotations
 
-import time
+import os
 
 import pytest
 
 from repro.baselines import guess_and_check_equalities
-from repro.bench.nla import NLA_PROBLEMS, nla_problem
-from repro.infer import infer_invariants
+from repro.bench.nla import NLA_PROBLEMS, nla_suite
 from repro.infer.pipeline import _ground_truth_implied
+from repro.infer.runner import run_many
 from repro.sampling import build_term_basis, collect_traces, loop_dataset
 from repro.utils import format_table
 
@@ -88,20 +88,25 @@ def test_table2_nla(benchmark, emit):
         from repro.infer import InferenceConfig
 
         # Paper-default budget: solved problems exit after 1-2 attempts,
-        # so only failures pay the full 4-attempt cost.
+        # so only failures pay the full 4-attempt cost.  The G-CLN
+        # column goes through the batch runner; REPRO_BENCH_JOBS fans
+        # it out over worker processes.
         config = InferenceConfig()
+        problems = nla_suite([e.name for e in entries])
+        jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+        records = {
+            r.name: r
+            for r in run_many(problems, config, jobs=jobs)
+        }
         for entry in entries:
-            problem = nla_problem(entry.name)
-            start = time.perf_counter()
-            try:
-                result = infer_invariants(problem, config)
-                solved = result.solved
-            except Exception:
-                solved = False
-            elapsed = time.perf_counter() - start
+            record = records[entry.name]
+            solved = record.solved
+            elapsed = record.runtime_seconds
             total_time += elapsed
             try:
-                numinv = _numinv_style_solves(nla_problem(entry.name))
+                numinv = _numinv_style_solves(
+                    next(p for p in problems if p.name == entry.name)
+                )
             except Exception:
                 numinv = False
             g_solved += solved

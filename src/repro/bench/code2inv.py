@@ -138,3 +138,15 @@ def code2inv_problems() -> list[Problem]:
         index += 1
     assert len(problems) == 124, len(problems)
     return problems
+
+
+def code2inv_suite(stride: int = 1) -> list[Problem]:
+    """The linear suite for the batch runner.
+
+    Args:
+        stride: keep every ``stride``-th problem (``8`` gives the same
+            16-instance subset the quick benchmark mode uses).
+    """
+    if stride < 1:
+        raise ValueError(f"stride must be >= 1, got {stride}")
+    return code2inv_problems()[::stride]

@@ -644,3 +644,19 @@ def nla_problem(name: str) -> Problem:
         raise ReproError(f"unknown NLA problem {name!r}")
     spec = _problem_spec(name)
     return Problem(name=name, source=_SOURCES[name], **spec)
+
+
+def nla_suite(names: list[str] | None = None) -> list[Problem]:
+    """NLA problems in Table 2 order, for the batch runner.
+
+    Args:
+        names: optional subset; order and unknown-name checking follow
+            the registry, not the argument.
+    """
+    if names is not None:
+        unknown = sorted(set(names) - set(_SOURCES))
+        if unknown:
+            raise ReproError(f"unknown NLA problem(s): {', '.join(unknown)}")
+        wanted = set(names)
+        return [nla_problem(e.name) for e in NLA_PROBLEMS if e.name in wanted]
+    return [nla_problem(e.name) for e in NLA_PROBLEMS]

@@ -106,3 +106,8 @@ def stability_problems() -> dict[str, Problem]:
         "ps2": nla_problem("ps2"),
         "ps3": nla_problem("ps3"),
     }
+
+
+def stability_suite() -> list["Problem"]:
+    """The Table 4 problems as a flat list, for the batch runner."""
+    return list(stability_problems().values())

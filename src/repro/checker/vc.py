@@ -17,7 +17,10 @@ combines the exact symbolic equality check with bounded sampling:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sampling.cache import TraceCache
 
 import numpy as np
 
@@ -51,6 +54,7 @@ class InvariantChecker:
         externals: Sequence[ExternalTerm] = (),
         rng: np.random.Generator | None = None,
         fuel: int = 500_000,
+        trace_cache: "TraceCache | None" = None,
     ):
         """
         Args:
@@ -60,6 +64,10 @@ class InvariantChecker:
             externals: external-function terms usable in invariants.
             rng: randomness for perturbation sampling.
             fuel: interpreter budget per run.
+            trace_cache: optional :class:`~repro.sampling.cache.
+                TraceCache`; when given, checking traces are memoized
+                there and reused across checker instances for the same
+                (program, inputs).
         """
         self.program = program
         self.bounded = BoundedChecker(
@@ -67,13 +75,23 @@ class InvariantChecker:
         )
         self._traces: list[ExecutionTrace] | None = None
         self._check_inputs = list(check_inputs)
+        self._fuel = fuel
+        self._trace_cache = trace_cache
         self._paths_cache: dict[int, object] = {}
 
     @property
     def traces(self) -> list[ExecutionTrace]:
         """Checking traces (computed lazily, cached)."""
         if self._traces is None:
-            self._traces = self.bounded.run_traces(self._check_inputs)
+            if self._trace_cache is not None:
+                self._traces = self._trace_cache.checker_traces(
+                    self.program,
+                    self._check_inputs,
+                    self._fuel,
+                    lambda: self.bounded.run_traces(self._check_inputs),
+                )
+            else:
+                self._traces = self.bounded.run_traces(self._check_inputs)
         return self._traces
 
     def _loop(self, loop_index: int) -> While:

@@ -3,7 +3,11 @@
 Commands:
 
 * ``run <nla-problem>`` — run the full inference pipeline on one of the
-  27 NLA benchmark problems and print the learned invariants.
+  27 NLA benchmark problems and print the learned invariants
+  (``--json PATH`` additionally writes the structured result).
+* ``run-all`` — run a whole suite (``nla``, ``code2inv``, or
+  ``stability``) through the parallel batch runner, with ``--jobs N``
+  worker processes, per-problem ``--timeout``, and ``--json`` output.
 * ``list`` — list the available benchmark problems with metadata.
 * ``trace <nla-problem> --inputs k=5`` — execute a benchmark program on
   one input assignment and dump the loop-head trace.
@@ -12,11 +16,14 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from fractions import Fraction
 
-from repro.bench.nla import NLA_PROBLEMS, nla_problem
+from repro.bench import NLA_PROBLEMS, nla_problem, suite_problems, SUITES
+from repro.errors import ReproError
 from repro.infer import InferenceConfig, infer_invariants
+from repro.infer.runner import run_many, summarize
 from repro.lang import run_program
 from repro.smt import format_formula
 from repro.utils import format_table
@@ -35,6 +42,16 @@ def _parse_assignment(pairs: list[str]) -> dict[str, object]:
         except ValueError as exc:
             raise SystemExit(f"bad value in {pair!r}: {exc}") from exc
     return assignment
+
+
+def _write_json(path: str, payload: dict) -> None:
+    """Write ``payload`` as JSON to ``path`` (``-`` for stdout)."""
+    text = json.dumps(payload, indent=2)
+    if path == "-":
+        print(text)
+    else:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -57,7 +74,82 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"loop {loop.loop_index}:")
         print(f"  invariant: {format_formula(loop.invariant)}")
         print(f"  ground truth implied: {loop.ground_truth_implied}")
+    if args.json:
+        _write_json(args.json, result.to_dict())
     return 0 if result.solved else 1
+
+
+def _cmd_run_all(args: argparse.Namespace) -> int:
+    if args.jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
+    if args.timeout is not None and args.timeout <= 0:
+        raise SystemExit(f"--timeout must be positive, got {args.timeout}")
+    try:
+        problems = suite_problems(args.suite, args.problems or None)
+    except ReproError as exc:
+        raise SystemExit(str(exc)) from exc
+    if not problems:
+        raise SystemExit(f"no problems selected from suite {args.suite!r}")
+    config = InferenceConfig(max_epochs=args.epochs)
+
+    def progress(record) -> None:
+        detail = (
+            f"{record.result.attempts} attempt(s)"
+            if record.result is not None
+            else (record.error or "").splitlines()[0]
+        )
+        print(
+            f"[{record.status:>7}] {record.name:<14} "
+            f"{record.runtime_seconds:6.1f}s  {detail}",
+            flush=True,
+        )
+
+    records = run_many(
+        problems,
+        config,
+        jobs=args.jobs,
+        timeout_seconds=args.timeout,
+        progress=progress,
+    )
+    stats = summarize(records)
+    rows = [
+        [
+            r.name,
+            r.status,
+            "yes" if r.solved else "no",
+            r.result.attempts if r.result is not None else "-",
+            f"{r.runtime_seconds:.1f}s",
+        ]
+        for r in records
+    ]
+    rows.append(
+        [
+            "TOTAL",
+            f"{stats['ok']} ok / {stats['timeout']} timeout / {stats['error']} error",
+            f"{stats['solved']}/{stats['problems']}",
+            "",
+            f"{stats['total_runtime_seconds']:.1f}s",
+        ]
+    )
+    print(
+        format_table(
+            ["problem", "status", "solved", "attempts", "time"],
+            rows,
+            title=f"run-all — suite {args.suite}, {args.jobs} job(s)",
+        )
+    )
+    if args.json:
+        _write_json(
+            args.json,
+            {
+                "suite": args.suite,
+                "jobs": args.jobs,
+                "timeout_seconds": args.timeout,
+                "summary": stats,
+                "records": [r.to_dict() for r in records],
+            },
+        )
+    return 0 if stats["solved"] == stats["problems"] else 1
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -94,7 +186,44 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--epochs", type=int, default=2000, help="training epochs per attempt"
     )
+    run_parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write the structured result as JSON ('-' for stdout)",
+    )
     run_parser.set_defaults(func=_cmd_run)
+
+    all_parser = sub.add_parser(
+        "run-all", help="run a whole suite through the batch runner"
+    )
+    all_parser.add_argument(
+        "--suite", choices=SUITES, default="nla", help="which suite to run"
+    )
+    all_parser.add_argument(
+        "--problems",
+        nargs="+",
+        metavar="NAME",
+        help="restrict to these problem names",
+    )
+    all_parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes"
+    )
+    all_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-problem wall-clock budget",
+    )
+    all_parser.add_argument(
+        "--epochs", type=int, default=2000, help="training epochs per attempt"
+    )
+    all_parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write all records as JSON ('-' for stdout)",
+    )
+    all_parser.set_defaults(func=_cmd_run_all)
 
     trace_parser = sub.add_parser("trace", help="dump one execution trace")
     trace_parser.add_argument("problem")

@@ -4,17 +4,45 @@
 term expansion and filtering, G-CLN training, formula extraction,
 soundness filtering / specification checking, and retry with adjusted
 dropout and widened sampling on failure.
+
+The runtime is staged, with one module per stage boundary:
+
+* :mod:`repro.infer.problem` / :mod:`repro.infer.config` — problem
+  definitions and pipeline knobs (Table 3 ablation switches).
+* :mod:`repro.infer.schedule` — the typed retry plan: an
+  :class:`~repro.infer.schedule.AttemptScheduler` expands the config
+  into ordered :class:`~repro.infer.schedule.AttemptPlan` entries
+  (dropout / seed / fractional interval, paper §6) and owns early
+  stopping.
+* :mod:`repro.infer.stages` — pure, memoized data stages
+  (``collect_states`` / ``build_matrix``) over a
+  :class:`~repro.sampling.cache.TraceCache`, so repeated attempts
+  never recollect traces or re-evaluate term matrices for an
+  unchanged (inputs, interval) pair.
+* :mod:`repro.infer.pipeline` — the per-attempt orchestration:
+  training, extraction, soundness filtering, solved test.
+* :mod:`repro.infer.runner` — the batch subsystem:
+  :func:`~repro.infer.runner.run_many` fans many problems out over a
+  process pool with per-problem timeouts and structured records.
 """
 
 from repro.infer.problem import Problem, parse_ground_truth
 from repro.infer.config import InferenceConfig
+from repro.infer.schedule import AttemptPlan, AttemptScheduler, build_schedule
 from repro.infer.pipeline import InferenceEngine, InferenceResult, infer_invariants
+from repro.infer.runner import ProblemRecord, run_many, summarize
 
 __all__ = [
     "Problem",
     "parse_ground_truth",
     "InferenceConfig",
+    "AttemptPlan",
+    "AttemptScheduler",
+    "build_schedule",
     "InferenceEngine",
     "InferenceResult",
     "infer_invariants",
+    "ProblemRecord",
+    "run_many",
+    "summarize",
 ]

@@ -7,12 +7,17 @@ when the ground-truth invariant is implied (or, with no ground truth,
 when the checker validates the conjunction).  Failed attempts retry
 with the next dropout rate / seed and, for fractional problems, finer
 sampling intervals.
+
+The engine is a thin orchestrator: the retry policy lives in
+:mod:`repro.infer.schedule`, the (memoized) data stages in
+:mod:`repro.infer.stages`, and trace/matrix reuse in
+:mod:`repro.sampling.cache`.  Attempts after the first perform no
+redundant trace collection for an unchanged (inputs, interval) pair.
 """
 
 from __future__ import annotations
 
 import time
-from fractions import Fraction
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -20,26 +25,19 @@ import numpy as np
 from repro.checker.vc import InvariantChecker
 from repro.checker.result import CheckOutcome
 from repro.cln.bounds import BoundBank, enumerate_bound_masks, extract_bound_atoms, train_bound_bank
-from repro.cln.extract import extract_equalities, make_exact_validator
-from repro.poly.polynomial import Polynomial
+from repro.cln.extract import extract_equalities
 from repro.cln.model import GCLN, complexity_term_weights
 from repro.cln.train import train_gcln
 from repro.errors import InferenceError, TrainingError
-from repro.lang.ast import Assert
 from repro.poly.reduce import inter_reduce, is_implied_equality, reduce_modulo
-from repro.sampling.filters import dedup_columns, growth_rate_filter
-from repro.sampling.fractional import (
-    FRACTIONAL_SUFFIX,
-    fractional_inputs,
-    relax_initializers,
-)
-from repro.sampling.normalize import normalize_rows
-from repro.sampling.termgen import TermBasis, build_term_basis, evaluate_terms
-from repro.sampling.tracegen import collect_traces, loop_dataset
+from repro.sampling.cache import TraceCache
 from repro.smt.formula import TRUE, And, Atom, Formula
+from repro.smt.printer import format_formula
 from repro.smt.simplify import simplify
 from repro.infer.config import InferenceConfig
 from repro.infer.problem import Problem
+from repro.infer.schedule import AttemptScheduler
+from repro.infer.stages import build_matrix, collect_states, instantiate_fractional
 
 
 @dataclass
@@ -52,6 +50,16 @@ class LoopResult:
     candidate_atoms: list[Atom] = field(default_factory=list)
     ground_truth_implied: bool = False
 
+    def to_dict(self) -> dict:
+        """JSON-serializable view (formulas/atoms as strings)."""
+        return {
+            "loop_index": self.loop_index,
+            "invariant": format_formula(self.invariant),
+            "sound_atoms": [str(a) for a in self.sound_atoms],
+            "candidate_atoms": [str(a) for a in self.candidate_atoms],
+            "ground_truth_implied": self.ground_truth_implied,
+        }
+
 
 @dataclass
 class InferenceResult:
@@ -63,6 +71,7 @@ class InferenceResult:
     runtime_seconds: float = 0.0
     attempts: int = 0
     notes: list[str] = field(default_factory=list)
+    cache_stats: dict[str, int] = field(default_factory=dict)
 
     def invariant(self, loop_index: int = 0) -> Formula:
         for loop in self.loops:
@@ -70,188 +79,46 @@ class InferenceResult:
                 return loop.invariant
         return TRUE
 
+    def to_dict(self) -> dict:
+        """JSON-serializable record of the run."""
+        return {
+            "problem": self.problem_name,
+            "solved": self.solved,
+            "attempts": self.attempts,
+            "runtime_seconds": self.runtime_seconds,
+            "notes": list(self.notes),
+            "cache_stats": dict(self.cache_stats),
+            "loops": [loop.to_dict() for loop in self.loops],
+        }
+
 
 class InferenceEngine:
-    """Runs the full inference workflow for one problem."""
+    """Runs the full inference workflow for one problem.
 
-    def __init__(self, problem: Problem, config: InferenceConfig | None = None):
+    Args:
+        problem: the benchmark problem.
+        config: pipeline knobs; defaults to the paper's full method.
+        cache: trace/matrix memo shared across attempts; pass an
+            existing instance to also share it across engines (e.g.
+            repeated runs of one problem, or with the checker).
+    """
+
+    def __init__(
+        self,
+        problem: Problem,
+        config: InferenceConfig | None = None,
+        cache: TraceCache | None = None,
+    ):
         self.problem = problem
         self.config = config if config is not None else InferenceConfig()
+        self.cache = cache if cache is not None else TraceCache()
         self._checker = InvariantChecker(
             problem.program,
             problem.effective_check_inputs,
             externals=problem.externals,
             rng=np.random.default_rng(10_007),
+            trace_cache=self.cache,
         )
-
-    # -- data collection -------------------------------------------------------
-
-    def _collect_states(self, fractional_interval: float | None) -> dict[int, list[dict]]:
-        """Training states per loop, optionally with fractional sampling."""
-        problem = self.problem
-        program = problem.program
-        traces = collect_traces(program, problem.train_inputs)
-        states: dict[int, list[dict]] = {}
-        for loop_index in range(len(program.loops)):
-            states[loop_index] = loop_dataset(
-                traces, loop_index, max_states=problem.max_states
-            )
-
-        self._fractional_vars: list[str] = []
-        use_fractional = (
-            problem.fractional
-            and self.config.fractional_sampling
-            and fractional_interval is not None
-        )
-        if use_fractional:
-            relaxed, relaxed_vars = relax_initializers(
-                program, problem.fractional_vars
-            )
-            if relaxed_vars:
-                # The paper's relaxation (§4.3): initial values become
-                # symbolic inputs V_I carried as extra state variables
-                # (the ``*__frac`` offsets); the model learns the
-                # *relaxed* invariant over V ∪ V_I and the pipeline
-                # substitutes the exact initial offsets (zero) back in
-                # (Eq. 7).  Fractional states therefore keep their
-                # offset variables.
-                self._fractional_vars = [
-                    v + FRACTIONAL_SUFFIX for v in relaxed_vars
-                ]
-                base = problem.train_inputs[: max(1, len(problem.train_inputs) // 4)]
-                frac_in = fractional_inputs(
-                    base, relaxed_vars, interval=fractional_interval, limit=200
-                )
-                frac_traces = collect_traces(relaxed, frac_in)
-                for loop_index in range(len(program.loops)):
-                    extra = loop_dataset(
-                        frac_traces, loop_index, max_states=problem.max_states
-                    )
-                    zero = {name: 0 for name in self._fractional_vars}
-                    merged = [dict(s, **zero) for s in states[loop_index]]
-                    merged.extend(dict(s) for s in extra)
-                    seen: set[tuple] = set()
-                    unique: list[dict] = []
-                    for s in merged:
-                        key = tuple(sorted((k, str(v)) for k, v in s.items()))
-                        if key not in seen:
-                            seen.add(key)
-                            unique.append(s)
-                    states[loop_index] = unique[: 2 * problem.max_states]
-        return states
-
-    def _build_matrix(
-        self, states: list[dict], loop_index: int
-    ) -> tuple[TermBasis, np.ndarray, np.ndarray, list[Atom]]:
-        """Term basis, raw/training matrices, and degenerate-column atoms.
-
-        Duplicate columns (``r`` identical to ``A`` throughout) and
-        constant columns (``q`` always 0) are *themselves* equality
-        candidates; they are emitted directly because dropping the
-        duplicate column — necessary for conditioning — would otherwise
-        hide the invariant from the model.
-        """
-        problem = self.problem
-        variables = list(problem.loop_variables(loop_index))
-        frac_vars = [
-            v
-            for v in getattr(self, "_fractional_vars", [])
-            if states and v in states[0]
-        ]
-        variables.extend(v for v in frac_vars if v not in variables)
-        basis = build_term_basis(
-            variables, problem.max_degree, externals=problem.externals
-        )
-        usable_states = states
-        if problem.externals:
-            usable_states = [
-                s
-                for s in states
-                if all(
-                    not hasattr(s.get(a), "denominator")
-                    or getattr(s.get(a), "denominator", 1) == 1
-                    for ext in problem.externals
-                    for a in ext.args
-                )
-            ]
-        raw = evaluate_terms(usable_states, basis)
-
-        degenerate: list[Atom] = []
-        validator = make_exact_validator(usable_states, basis)
-        kept_unique = dedup_columns(raw)
-        dup_of: dict[int, int] = {}
-        for j in range(raw.shape[1]):
-            if j in kept_unique:
-                continue
-            for i in kept_unique:
-                if np.array_equal(raw[:, i], raw[:, j]):
-                    dup_of[j] = i
-                    break
-        for j, i in dup_of.items():
-            poly = Polynomial(
-                {basis.monomials[i]: 1, basis.monomials[j]: -1}
-            )
-            if not poly.is_zero() and validator(poly, "=="):
-                degenerate.append(Atom(poly.primitive(), "=="))
-        for j in kept_unique:
-            column = raw[:, j]
-            if basis.monomials[j].is_constant():
-                continue
-            if np.all(column == column[0]) and float(column[0]).is_integer():
-                poly = Polynomial(
-                    {
-                        basis.monomials[j]: 1,
-                        basis.monomials[0]: -int(column[0]),
-                    }
-                )
-                if validator(poly, "=="):
-                    degenerate.append(Atom(poly.primitive(), "=="))
-
-        degrees = [m.degree for m in basis.monomials]
-        keep = growth_rate_filter(raw, degrees, ratio_cap=self.config.growth_ratio_cap)
-        keep = [j for j in keep if j in set(kept_unique)]
-        basis = basis.restrict(keep)
-        raw = raw[:, keep]
-        if self.config.data_normalization:
-            data = normalize_rows(raw)
-        else:
-            data = raw.copy()
-        return basis, raw, data, degenerate
-
-    def _instantiate_fractional(
-        self, atoms: list[Atom], states: list[dict]
-    ) -> list[Atom]:
-        """Substitute zero offsets into relaxed-invariant atoms (Eq. 7).
-
-        Atoms learned over the relaxed program may mention the
-        ``*__frac`` initial-value variables; instantiating them at the
-        original initial values (offset 0) yields candidate invariants
-        of the original program, which are re-validated on the
-        zero-offset samples.
-        """
-        frac_vars = getattr(self, "_fractional_vars", [])
-        if not frac_vars:
-            return atoms
-        zero_map = {v: Polynomial.zero() for v in frac_vars}
-        base_states = [
-            {k: v for k, v in s.items() if not k.endswith(FRACTIONAL_SUFFIX)}
-            for s in states
-            if all(s.get(v, 0) == 0 for v in frac_vars)
-        ]
-        out: list[Atom] = []
-        for atom in atoms:
-            poly = atom.poly.substitute(zero_map)
-            if poly.is_zero() or poly.is_constant():
-                continue
-            if any(v.endswith(FRACTIONAL_SUFFIX) for v in poly.variables):
-                continue
-            candidate = Atom(poly.primitive(), atom.op)
-            if all(
-                candidate.evaluate({k: Fraction(v) for k, v in s.items()})
-                for s in base_states
-            ):
-                out.append(candidate)
-        return out
 
     # -- main loop -------------------------------------------------------------
 
@@ -267,34 +134,28 @@ class InferenceEngine:
             raise InferenceError(f"problem {problem.name!r} has no loops")
 
         accumulated: dict[int, dict[str, Atom]] = {i: {} for i in range(n_loops)}
-        fractional_schedule: list[float | None] = list(config.fractional_intervals)
-        if not problem.fractional:
-            fractional_schedule = [None]
+        scheduler = AttemptScheduler(config, fractional=problem.fractional)
 
-        attempts = 0
         solved = False
-        for attempt_index, dropout in enumerate(config.dropout_schedule):
-            attempts += 1
-            seed = config.seeds[attempt_index % len(config.seeds)]
-            interval = fractional_schedule[
-                min(attempt_index, len(fractional_schedule) - 1)
-            ]
-            try:
-                states = self._collect_states(interval)
-            except InferenceError:
-                raise
-            gcln_config = config.gcln_for_attempt(dropout)
+        for plan in scheduler:
+            dataset = collect_states(
+                problem, config, plan.fractional_interval, self.cache
+            )
+            gcln_config = config.gcln_for_attempt(plan.dropout)
 
             for loop_index in range(n_loops):
-                loop_states = states[loop_index]
+                loop_states = dataset.states[loop_index]
                 if len(loop_states) < 3:
                     continue
-                basis, _raw, data, degenerate = self._build_matrix(
-                    loop_states, loop_index
+                bundle = build_matrix(
+                    problem, config, dataset, loop_index, self.cache
                 )
-                for atom in self._instantiate_fractional(degenerate, loop_states):
+                basis, data = bundle.basis, bundle.data
+                for atom in instantiate_fractional(
+                    bundle.degenerate, loop_states, dataset.fractional_vars
+                ):
                     accumulated[loop_index].setdefault(str(atom), atom)
-                rng = np.random.default_rng(seed * 1000 + loop_index)
+                rng = np.random.default_rng(plan.seed * 1000 + loop_index)
                 weights = complexity_term_weights(
                     [m.degree for m in basis.monomials],
                     [len(m.variables) for m in basis.monomials],
@@ -312,7 +173,9 @@ class InferenceEngine:
                 except TrainingError as exc:
                     result.notes.append(f"loop {loop_index}: training failed: {exc}")
                     eq_atoms = []
-                for atom in self._instantiate_fractional(eq_atoms, loop_states):
+                for atom in instantiate_fractional(
+                    eq_atoms, loop_states, dataset.fractional_vars
+                ):
                     accumulated[loop_index].setdefault(str(atom), atom)
 
                 if problem.learn_inequalities:
@@ -367,8 +230,7 @@ class InferenceEngine:
             result.loops = loop_results
             if all_implied and any(problem.ground_truth.values()):
                 solved = True
-                break
-            if not any(problem.ground_truth.values()):
+            elif not any(problem.ground_truth.values()):
                 # No ground truth: stop when the checker validates the
                 # conjunction (and something was learned).
                 posts = [s.cond for s in program.asserts]
@@ -380,11 +242,13 @@ class InferenceEngine:
                     and result.loops[-1].sound_atoms
                 ):
                     solved = True
-                    break
+            if solved:
+                scheduler.stop()
 
         result.solved = solved
-        result.attempts = attempts
+        result.attempts = scheduler.attempts_made
         result.runtime_seconds = time.perf_counter() - start
+        result.cache_stats = self.cache.stats.to_dict()
         return result
 
 
@@ -436,7 +300,9 @@ def _ground_truth_implied(truth: list[Atom], sound: list[Atom]) -> bool:
 
 
 def infer_invariants(
-    problem: Problem, config: InferenceConfig | None = None
+    problem: Problem,
+    config: InferenceConfig | None = None,
+    cache: TraceCache | None = None,
 ) -> InferenceResult:
     """Convenience wrapper: run the engine once for ``problem``."""
-    return InferenceEngine(problem, config).run()
+    return InferenceEngine(problem, config, cache=cache).run()

@@ -1,0 +1,221 @@
+"""Parallel batch execution of inference problems.
+
+:func:`run_many` fans a list of problems out over a
+``concurrent.futures`` process pool (``jobs`` workers; ``jobs=1`` runs
+inline in-process), enforcing an optional per-problem wall-clock
+timeout and collecting one structured :class:`ProblemRecord` per
+problem, in input order.  Records wrap
+:class:`~repro.infer.pipeline.InferenceResult` and serialize to JSON
+via :meth:`ProblemRecord.to_dict`, so benchmark tables and the
+``python -m repro run-all`` CLI share one result format.
+
+Timeouts are enforced *inside* the worker with ``SIGALRM`` (POSIX), so
+a timed-out problem frees its pool slot immediately instead of
+poisoning the pool; on platforms without ``SIGALRM`` the timeout is
+not enforced.
+"""
+
+from __future__ import annotations
+
+import signal
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.infer.config import InferenceConfig
+from repro.infer.pipeline import InferenceResult, infer_invariants
+from repro.infer.problem import Problem
+
+# Record statuses.
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+STATUS_TIMEOUT = "timeout"
+
+
+@dataclass
+class ProblemRecord:
+    """Outcome of one problem in a batch run.
+
+    Attributes:
+        name: problem name.
+        status: ``"ok"``, ``"timeout"``, or ``"error"``.
+        runtime_seconds: wall-clock time spent on the problem.
+        result: the inference result when ``status == "ok"``.
+        error: error description for ``"timeout"`` / ``"error"``.
+    """
+
+    name: str
+    status: str
+    runtime_seconds: float = 0.0
+    result: InferenceResult | None = None
+    error: str | None = None
+
+    @property
+    def solved(self) -> bool:
+        return self.status == STATUS_OK and self.result is not None and self.result.solved
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "status": self.status,
+            "solved": self.solved,
+            "runtime_seconds": self.runtime_seconds,
+            "result": self.result.to_dict() if self.result is not None else None,
+            "error": self.error,
+        }
+
+
+class _Timeout(Exception):
+    """Internal: the per-problem alarm fired."""
+
+
+def _run_one(
+    problem: Problem,
+    config: InferenceConfig | None,
+    timeout_seconds: float | None,
+) -> ProblemRecord:
+    """Run one problem with an optional SIGALRM-enforced timeout.
+
+    This is the unit of work shipped to pool workers; it must stay a
+    module-level function so it pickles.
+    """
+    start = time.perf_counter()
+    use_alarm = timeout_seconds is not None and hasattr(signal, "SIGALRM")
+    previous_handler = None
+    previous_timer = (0.0, 0.0)
+    if use_alarm:
+
+        def _on_alarm(_signum, _frame):
+            raise _Timeout()
+
+        try:
+            previous_handler = signal.signal(signal.SIGALRM, _on_alarm)
+            previous_timer = signal.getitimer(signal.ITIMER_REAL)
+            signal.setitimer(signal.ITIMER_REAL, timeout_seconds)
+        except ValueError:
+            # Not in the main thread; run without enforcement.
+            use_alarm = False
+
+    def _disarm() -> None:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+
+    try:
+        # The outer except catches a late alarm that fires inside one
+        # of the inner handlers, so _Timeout can never escape into the
+        # caller's batch loop.
+        try:
+            result = infer_invariants(problem, config)
+            _disarm()
+            return ProblemRecord(
+                name=problem.name,
+                status=STATUS_OK,
+                runtime_seconds=time.perf_counter() - start,
+                result=result,
+            )
+        except _Timeout:
+            raise
+        except Exception as exc:  # noqa: BLE001 — batch runs must not die on one problem
+            _disarm()
+            return ProblemRecord(
+                name=problem.name,
+                status=STATUS_ERROR,
+                runtime_seconds=time.perf_counter() - start,
+                error=f"{type(exc).__name__}: {exc}\n{traceback.format_exc(limit=5)}",
+            )
+    except _Timeout:
+        return ProblemRecord(
+            name=problem.name,
+            status=STATUS_TIMEOUT,
+            runtime_seconds=time.perf_counter() - start,
+            error=f"timed out after {timeout_seconds:.0f}s",
+        )
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            if previous_handler is not None:
+                signal.signal(signal.SIGALRM, previous_handler)
+            if previous_timer[0] > 0:
+                # Re-arm the caller's pre-existing timer with the time
+                # it had remaining when we took over.
+                signal.setitimer(signal.ITIMER_REAL, *previous_timer)
+
+
+def run_many(
+    problems: Sequence[Problem],
+    config: InferenceConfig | None = None,
+    jobs: int = 1,
+    timeout_seconds: float | None = None,
+    progress: Callable[[ProblemRecord], None] | None = None,
+) -> list[ProblemRecord]:
+    """Run inference on every problem, optionally in parallel.
+
+    Args:
+        problems: the problems to run.
+        config: shared inference config (``None`` = paper defaults).
+        jobs: worker processes; ``1`` runs inline in this process.
+        timeout_seconds: per-problem wall-clock budget.
+        progress: called with each record as it completes (completion
+            order, which differs from input order when ``jobs > 1``).
+
+    Returns:
+        One record per problem, in input order, regardless of
+        completion order or worker failures.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if timeout_seconds is not None and timeout_seconds <= 0:
+        raise ValueError(
+            f"timeout_seconds must be positive, got {timeout_seconds}"
+        )
+    if not problems:
+        return []
+
+    if jobs == 1:
+        records = []
+        for problem in problems:
+            record = _run_one(problem, config, timeout_seconds)
+            if progress is not None:
+                progress(record)
+            records.append(record)
+        return records
+
+    records_by_index: dict[int, ProblemRecord] = {}
+    with ProcessPoolExecutor(max_workers=min(jobs, len(problems))) as pool:
+        futures = {
+            pool.submit(_run_one, problem, config, timeout_seconds): index
+            for index, problem in enumerate(problems)
+        }
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                index = futures[future]
+                try:
+                    record = future.result()
+                except Exception as exc:  # worker died (e.g. OOM-kill)
+                    record = ProblemRecord(
+                        name=problems[index].name,
+                        status=STATUS_ERROR,
+                        error=f"worker failed: {type(exc).__name__}: {exc}",
+                    )
+                records_by_index[index] = record
+                if progress is not None:
+                    progress(record)
+    return [records_by_index[i] for i in range(len(problems))]
+
+
+def summarize(records: Sequence[ProblemRecord]) -> dict:
+    """Aggregate counts and timing over a batch run's records."""
+    total_time = sum(r.runtime_seconds for r in records)
+    return {
+        "problems": len(records),
+        "solved": sum(1 for r in records if r.solved),
+        "ok": sum(1 for r in records if r.status == STATUS_OK),
+        "timeout": sum(1 for r in records if r.status == STATUS_TIMEOUT),
+        "error": sum(1 for r in records if r.status == STATUS_ERROR),
+        "total_runtime_seconds": total_time,
+        "mean_runtime_seconds": total_time / len(records) if records else 0.0,
+    }

@@ -1,0 +1,282 @@
+"""Pure data stages of the inference pipeline, memoized via TraceCache.
+
+These are the attempt-independent stages of the Fig. 3 workflow:
+collecting loop-head training states (with optional fractional
+sampling, §4.3) and building the candidate-term matrices.  Both are
+pure functions of (problem, config, fractional interval) and memoize
+their results in a :class:`~repro.sampling.cache.TraceCache`, so the
+retry schedule pays for them once per distinct interval instead of
+once per attempt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Mapping
+
+import numpy as np
+
+from repro.cln.extract import make_exact_validator
+from repro.infer.config import InferenceConfig
+from repro.infer.problem import Problem
+from repro.poly.polynomial import Polynomial
+from repro.sampling.cache import TraceCache, fingerprint_inputs, fingerprint_program
+from repro.sampling.filters import duplicate_column_map, growth_rate_filter
+from repro.sampling.fractional import (
+    FRACTIONAL_SUFFIX,
+    fractional_inputs,
+    relax_initializers,
+)
+from repro.sampling.normalize import normalize_rows
+from repro.sampling.termgen import TermBasis, build_term_basis, evaluate_terms
+from repro.sampling.tracegen import loop_dataset
+from repro.smt.formula import Atom
+
+
+@dataclass(frozen=True)
+class StateDataset:
+    """Training states for every loop at one fractional interval.
+
+    Attributes:
+        states: per-loop-index lists of variable environments.
+        fractional_vars: the ``*__frac`` offset variables present in
+            the states (empty when fractional sampling is off).
+        key: content fingerprint of everything that determined the
+            states; downstream stages key their memoization on it.
+    """
+
+    states: Mapping[int, list[dict]]
+    fractional_vars: tuple[str, ...]
+    key: str
+
+
+@dataclass(frozen=True)
+class MatrixBundle:
+    """Candidate-term data for one loop: basis, matrices, free atoms.
+
+    ``raw`` is the unnormalized term matrix after filtering, ``data``
+    the training matrix (row-normalized unless disabled), and
+    ``degenerate`` the equality atoms read directly off duplicate /
+    constant columns (they are emitted here because the duplicate
+    column itself is dropped for conditioning).
+    """
+
+    basis: TermBasis
+    raw: np.ndarray
+    data: np.ndarray
+    degenerate: tuple[Atom, ...]
+
+
+def collect_states(
+    problem: Problem,
+    config: InferenceConfig,
+    fractional_interval: float | None,
+    cache: TraceCache,
+) -> StateDataset:
+    """Training states per loop, optionally with fractional sampling.
+
+    Memoized: repeated attempts with the same (program, inputs,
+    interval) return the cached dataset without re-interpreting the
+    program.
+    """
+    program = problem.program
+    use_fractional = (
+        problem.fractional
+        and config.fractional_sampling
+        and fractional_interval is not None
+    )
+    key_parts = (
+        fingerprint_program(program),
+        fingerprint_inputs(problem.train_inputs),
+        fractional_interval if use_fractional else None,
+        problem.max_states,
+        tuple(problem.fractional_vars or ()) if use_fractional else (),
+    )
+    dataset_key = repr(key_parts)
+
+    def compute() -> StateDataset:
+        traces = cache.traces(program, problem.train_inputs)
+        states: dict[int, list[dict]] = {}
+        for loop_index in range(len(program.loops)):
+            states[loop_index] = loop_dataset(
+                traces, loop_index, max_states=problem.max_states
+            )
+        fractional_vars: tuple[str, ...] = ()
+        if use_fractional:
+            relaxed, relaxed_vars = relax_initializers(
+                program, problem.fractional_vars
+            )
+            if relaxed_vars:
+                # The paper's relaxation (§4.3): initial values become
+                # symbolic inputs V_I carried as extra state variables
+                # (the ``*__frac`` offsets); the model learns the
+                # *relaxed* invariant over V ∪ V_I and the pipeline
+                # substitutes the exact initial offsets (zero) back in
+                # (Eq. 7).  Fractional states therefore keep their
+                # offset variables.
+                fractional_vars = tuple(
+                    v + FRACTIONAL_SUFFIX for v in relaxed_vars
+                )
+                base = problem.train_inputs[: max(1, len(problem.train_inputs) // 4)]
+                frac_in = fractional_inputs(
+                    base, relaxed_vars, interval=fractional_interval, limit=200
+                )
+                frac_traces = cache.traces(relaxed, frac_in)
+                for loop_index in range(len(program.loops)):
+                    extra = loop_dataset(
+                        frac_traces, loop_index, max_states=problem.max_states
+                    )
+                    zero = {name: 0 for name in fractional_vars}
+                    merged = [dict(s, **zero) for s in states[loop_index]]
+                    merged.extend(dict(s) for s in extra)
+                    seen: set[tuple] = set()
+                    unique: list[dict] = []
+                    for s in merged:
+                        state_key = tuple(sorted(s.items()))
+                        if state_key not in seen:
+                            seen.add(state_key)
+                            unique.append(s)
+                    states[loop_index] = unique[: 2 * problem.max_states]
+        return StateDataset(
+            states=states, fractional_vars=fractional_vars, key=dataset_key
+        )
+
+    return cache.memoize("trace", ("states", dataset_key), compute)
+
+
+def build_matrix(
+    problem: Problem,
+    config: InferenceConfig,
+    dataset: StateDataset,
+    loop_index: int,
+    cache: TraceCache,
+) -> MatrixBundle:
+    """Term basis, matrices, and degenerate-column atoms for one loop.
+
+    Memoized on (dataset, loop, term-construction knobs); the returned
+    bundle is shared across attempts and must not be mutated.
+    """
+    states = dataset.states[loop_index]
+    variables = list(problem.loop_variables(loop_index))
+    frac_vars = [
+        v for v in dataset.fractional_vars if states and v in states[0]
+    ]
+    variables.extend(v for v in frac_vars if v not in variables)
+    key = (
+        dataset.key,
+        loop_index,
+        tuple(variables),
+        problem.max_degree,
+        tuple(e.name for e in problem.externals),
+        config.growth_ratio_cap,
+        config.data_normalization,
+    )
+    return cache.memoize(
+        "matrix",
+        key,
+        lambda: _build_matrix_uncached(problem, config, states, variables),
+    )
+
+
+def _build_matrix_uncached(
+    problem: Problem,
+    config: InferenceConfig,
+    states: list[dict],
+    variables: list[str],
+) -> MatrixBundle:
+    basis = build_term_basis(
+        variables, problem.max_degree, externals=problem.externals
+    )
+    usable_states = states
+    if problem.externals:
+        usable_states = [
+            s
+            for s in states
+            if all(
+                not hasattr(s.get(a), "denominator")
+                or getattr(s.get(a), "denominator", 1) == 1
+                for ext in problem.externals
+                for a in ext.args
+            )
+        ]
+    raw = evaluate_terms(usable_states, basis)
+
+    # Duplicate columns (``r`` identical to ``A`` throughout) and
+    # constant columns (``q`` always 0) are *themselves* equality
+    # candidates; they are emitted directly because dropping the
+    # duplicate column — necessary for conditioning — would otherwise
+    # hide the invariant from the model.
+    degenerate: list[Atom] = []
+    validator = make_exact_validator(usable_states, basis)
+    dup_of = duplicate_column_map(raw)
+    kept_unique = [j for j in range(raw.shape[1]) if j not in dup_of]
+    for j, i in dup_of.items():
+        poly = Polynomial(
+            {basis.monomials[i]: 1, basis.monomials[j]: -1}
+        )
+        if not poly.is_zero() and validator(poly, "=="):
+            degenerate.append(Atom(poly.primitive(), "=="))
+    for j in kept_unique:
+        column = raw[:, j]
+        if basis.monomials[j].is_constant():
+            continue
+        if np.all(column == column[0]) and float(column[0]).is_integer():
+            poly = Polynomial(
+                {
+                    basis.monomials[j]: 1,
+                    basis.monomials[0]: -int(column[0]),
+                }
+            )
+            if validator(poly, "=="):
+                degenerate.append(Atom(poly.primitive(), "=="))
+
+    degrees = [m.degree for m in basis.monomials]
+    keep = growth_rate_filter(raw, degrees, ratio_cap=config.growth_ratio_cap)
+    keep = [j for j in keep if j not in dup_of]
+    basis = basis.restrict(keep)
+    raw = raw[:, keep]
+    if config.data_normalization:
+        data = normalize_rows(raw)
+    else:
+        data = raw.copy()
+    return MatrixBundle(
+        basis=basis, raw=raw, data=data, degenerate=tuple(degenerate)
+    )
+
+
+def instantiate_fractional(
+    atoms: list[Atom] | tuple[Atom, ...],
+    states: list[dict],
+    fractional_vars: tuple[str, ...],
+) -> list[Atom]:
+    """Substitute zero offsets into relaxed-invariant atoms (Eq. 7).
+
+    Atoms learned over the relaxed program may mention the ``*__frac``
+    initial-value variables; instantiating them at the original
+    initial values (offset 0) yields candidate invariants of the
+    original program, which are re-validated on the zero-offset
+    samples.
+    """
+    if not fractional_vars:
+        return list(atoms)
+    zero_map = {v: Polynomial.zero() for v in fractional_vars}
+    base_states = [
+        {k: v for k, v in s.items() if not k.endswith(FRACTIONAL_SUFFIX)}
+        for s in states
+        if all(s.get(v, 0) == 0 for v in fractional_vars)
+    ]
+    out: list[Atom] = []
+    for atom in atoms:
+        poly = atom.poly.substitute(zero_map)
+        if poly.is_zero() or poly.is_constant():
+            continue
+        if any(v.endswith(FRACTIONAL_SUFFIX) for v in poly.variables):
+            continue
+        candidate = Atom(poly.primitive(), atom.op)
+        if all(
+            candidate.evaluate({k: Fraction(v) for k, v in s.items()})
+            for s in base_states
+        ):
+            out.append(candidate)
+    return out

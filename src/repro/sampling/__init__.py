@@ -4,6 +4,14 @@ Pipeline: run the program over an input space (``tracegen``), expand
 loop-head states to candidate monomial/external terms (``termgen``),
 filter unstable terms (``filters``), normalize rows (``normalize``),
 and densify with fractional sampling when needed (``fractional``).
+
+Stage boundary: everything in this package is *data production* — pure
+functions from (program, inputs) to traces, states, and matrices, with
+no knowledge of training or checking.  The ``cache`` module provides
+the :class:`~repro.sampling.cache.TraceCache` memo that the inference
+runtime layers on top, so retries, the checker, and batch reruns share
+one trace collection and one term-matrix evaluation per distinct
+(program fingerprint, inputs, fractional interval) key.
 """
 
 from repro.sampling.tracegen import collect_traces, loop_dataset, enumerate_inputs
@@ -13,9 +21,14 @@ from repro.sampling.termgen import (
     extend_state,
     evaluate_terms,
 )
-from repro.sampling.filters import growth_rate_filter, dedup_columns
+from repro.sampling.filters import (
+    growth_rate_filter,
+    dedup_columns,
+    duplicate_column_map,
+)
 from repro.sampling.normalize import normalize_rows
 from repro.sampling.fractional import relax_initializers, fractional_inputs
+from repro.sampling.cache import CacheStats, TraceCache
 
 __all__ = [
     "collect_traces",
@@ -27,7 +40,10 @@ __all__ = [
     "evaluate_terms",
     "growth_rate_filter",
     "dedup_columns",
+    "duplicate_column_map",
     "normalize_rows",
     "relax_initializers",
     "fractional_inputs",
+    "CacheStats",
+    "TraceCache",
 ]

@@ -1,0 +1,181 @@
+"""Memoization for interpreter traces and evaluated term matrices.
+
+The inference engine retries each problem across a dropout / seed /
+fractional-interval schedule (paper §6), but the expensive data stages
+— interpreting the program over the input space and evaluating the
+candidate-term matrix — depend only on (program, inputs, interval),
+not on the attempt's training knobs.  :class:`TraceCache` memoizes
+both stages so that repeated attempts, the invariant checker, and
+batch reruns of the same problem share one computation.
+
+Keys are content fingerprints (program pretty-print digest + input
+digest), so two structurally identical programs share entries even
+when parsed separately.  Cached values are returned *by reference*;
+callers must treat them as immutable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.lang.ast import Program
+from repro.lang.interp import ExecutionTrace
+from repro.lang.pretty import pretty_program
+from repro.sampling.tracegen import collect_traces
+
+
+def fingerprint_program(program: Program) -> str:
+    """Stable digest of a program's structure (via the pretty-printer).
+
+    Computed fresh every call: memoizing it on the AST would survive
+    ``copy.deepcopy`` (e.g. ``relax_initializers``) and hand a
+    structurally different program the original's digest.
+    """
+    return hashlib.sha1(pretty_program(program).encode()).hexdigest()
+
+
+def fingerprint_inputs(inputs: Iterable[Mapping[str, object]]) -> str:
+    """Stable digest of an input-assignment sequence."""
+    hasher = hashlib.sha1()
+    for assignment in inputs:
+        for name, value in sorted(assignment.items()):
+            hasher.update(name.encode())
+            hasher.update(b"=")
+            hasher.update(repr(value).encode())
+            hasher.update(b";")
+        hasher.update(b"|")
+    return hasher.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, split by cached stage."""
+
+    trace_hits: int = 0
+    trace_misses: int = 0
+    matrix_hits: int = 0
+    matrix_misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.trace_hits + self.matrix_hits
+
+    @property
+    def misses(self) -> int:
+        return self.trace_misses + self.matrix_misses
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "trace_hits": self.trace_hits,
+            "trace_misses": self.trace_misses,
+            "matrix_hits": self.matrix_hits,
+            "matrix_misses": self.matrix_misses,
+        }
+
+
+class TraceCache:
+    """LRU memo for traces and term matrices, shared across attempts.
+
+    One instance is owned by each :class:`~repro.infer.pipeline.
+    InferenceEngine` (or injected, to share across engines / with the
+    checker).  Entries are evicted least-recently-used once
+    ``max_entries`` is exceeded, bounding memory during batch runs.
+    """
+
+    def __init__(self, max_entries: int = 128):
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._entries: OrderedDict[tuple, object] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    # -- generic memoization ---------------------------------------------------
+
+    def _lookup(self, key: tuple) -> tuple[bool, object]:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return True, self._entries[key]
+        return False, None
+
+    def _store(self, key: tuple, value: object) -> None:
+        self._entries[key] = value
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def memoize(
+        self,
+        kind: str,
+        key: tuple,
+        compute: Callable[[], object],
+    ) -> object:
+        """Memoize ``compute()`` under ``(kind, *key)``.
+
+        ``kind`` must be ``"trace"`` or ``"matrix"``; it selects which
+        stat counters are bumped and namespaces the key.
+        """
+        full_key = (kind, *key)
+        hit, value = self._lookup(full_key)
+        if hit:
+            if kind == "trace":
+                self.stats.trace_hits += 1
+            else:
+                self.stats.matrix_hits += 1
+            return value
+        if kind == "trace":
+            self.stats.trace_misses += 1
+        else:
+            self.stats.matrix_misses += 1
+        value = compute()
+        self._store(full_key, value)
+        return value
+
+    # -- trace collection ------------------------------------------------------
+
+    def traces(
+        self,
+        program: Program,
+        inputs: Sequence[Mapping[str, object]],
+        fuel: int = 100_000,
+        max_traces: int | None = None,
+    ) -> list[ExecutionTrace]:
+        """Memoized :func:`~repro.sampling.tracegen.collect_traces`."""
+        key = (
+            "collect",
+            fingerprint_program(program),
+            fingerprint_inputs(inputs),
+            fuel,
+            max_traces,
+        )
+        return self.memoize(
+            "trace",
+            key,
+            lambda: collect_traces(program, inputs, fuel=fuel, max_traces=max_traces),
+        )
+
+    def checker_traces(
+        self,
+        program: Program,
+        inputs: Sequence[Mapping[str, object]],
+        fuel: int,
+        run: Callable[[], list[ExecutionTrace]],
+    ) -> list[ExecutionTrace]:
+        """Memoized checker-side trace collection.
+
+        The checker tolerates interpreter errors that the sampler
+        propagates, so its traces are cached under a separate key even
+        for identical (program, inputs).
+        """
+        key = (
+            "checker",
+            fingerprint_program(program),
+            fingerprint_inputs(inputs),
+            fuel,
+        )
+        return self.memoize("trace", key, run)

@@ -106,6 +106,39 @@ def growth_order_filter(
     )
 
 
+def duplicate_column_map(matrix: np.ndarray) -> dict[int, int]:
+    """Map each duplicate column index to its first occurrence.
+
+    Columns are keyed by their byte representation, hashed once each
+    (O(columns) instead of the pairwise O(columns²) comparison).  For
+    float matrices, adding ``0.0`` first canonicalizes ``-0.0`` so the
+    grouping matches elementwise equality; integer (and other exact)
+    dtypes are hashed as-is to avoid lossy float coercion.  Object
+    arrays fall back to pairwise comparison (their bytes are pointers).
+    """
+    first: dict[bytes, int] = {}
+    dup_of: dict[int, int] = {}
+    if matrix.dtype == object:
+        keep: list[int] = []
+        for j in range(matrix.shape[1]):
+            for i in keep:
+                if np.array_equal(matrix[:, i], matrix[:, j]):
+                    dup_of[j] = i
+                    break
+            else:
+                keep.append(j)
+        return dup_of
+    floating = np.issubdtype(matrix.dtype, np.floating)
+    for j in range(matrix.shape[1]):
+        column = matrix[:, j] + 0.0 if floating else matrix[:, j]
+        key = column.tobytes()
+        if key in first:
+            dup_of[j] = first[key]
+        else:
+            first[key] = j
+    return dup_of
+
+
 def dedup_columns(matrix: np.ndarray, tol: float = 0.0) -> list[int]:
     """Indices of the first occurrence of each distinct column.
 
@@ -115,15 +148,14 @@ def dedup_columns(matrix: np.ndarray, tol: float = 0.0) -> list[int]:
     invariant over the dropped column can be rewritten over the kept
     one on the sampled data.
     """
+    if tol == 0.0:
+        dup_of = duplicate_column_map(matrix)
+        return [j for j in range(matrix.shape[1]) if j not in dup_of]
     keep: list[int] = []
     for j in range(matrix.shape[1]):
         duplicate = False
         for i in keep:
-            if tol == 0.0:
-                if np.array_equal(matrix[:, i], matrix[:, j]):
-                    duplicate = True
-                    break
-            elif np.max(np.abs(matrix[:, i] - matrix[:, j])) <= tol:
+            if np.max(np.abs(matrix[:, i] - matrix[:, j])) <= tol:
                 duplicate = True
                 break
         if not duplicate:

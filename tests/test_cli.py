@@ -50,3 +50,56 @@ def test_run_command(capsys):
     out = capsys.readouterr().out
     assert "invariant:" in out
     assert code in (0, 1)
+
+
+def test_run_all_rejects_unknown_suite():
+    with pytest.raises(SystemExit):
+        main(["run-all", "--suite", "nosuch"])
+
+
+def test_run_all_rejects_unknown_problem():
+    with pytest.raises(SystemExit):
+        main(["run-all", "--problems", "nosuch_problem"])
+
+
+@pytest.mark.slow
+def test_run_all_command_with_json(capsys, tmp_path):
+    import json
+
+    out_path = tmp_path / "records.json"
+    code = main(
+        [
+            "run-all",
+            "--suite",
+            "stability",
+            "--problems",
+            "conj_eq",
+            "--epochs",
+            "400",
+            "--jobs",
+            "1",
+            "--json",
+            str(out_path),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert "run-all" in out and "conj_eq" in out
+    assert code in (0, 1)
+    payload = json.loads(out_path.read_text())
+    assert payload["suite"] == "stability"
+    assert payload["summary"]["problems"] == 1
+    assert payload["records"][0]["name"] == "conj_eq"
+    assert payload["records"][0]["status"] == "ok"
+
+
+@pytest.mark.slow
+def test_run_json_output(capsys, tmp_path):
+    import json
+
+    out_path = tmp_path / "result.json"
+    code = main(["run", "ps2", "--epochs", "600", "--json", str(out_path)])
+    assert code in (0, 1)
+    payload = json.loads(out_path.read_text())
+    assert payload["problem"] == "ps2"
+    assert isinstance(payload["solved"], bool)
+    assert payload["loops"] and "invariant" in payload["loops"][0]

@@ -1,0 +1,122 @@
+"""Tests for the parallel batch runner."""
+
+import json
+import time
+
+import pytest
+
+from repro.infer import InferenceConfig, Problem
+from repro.infer import runner as runner_module
+from repro.infer.runner import (
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    ProblemRecord,
+    run_many,
+    summarize,
+)
+
+FAST_CONFIG = InferenceConfig(max_epochs=60, dropout_schedule=(0.6,))
+
+
+def tiny_problem(name: str, step: int = 1) -> Problem:
+    return Problem(
+        name=name,
+        source=f"""
+program {name};
+input n;
+assume (n >= 0);
+i = 0; x = 0;
+while (i < n) {{ i = i + 1; x = x + {step}; }}
+""",
+        train_inputs=[{"n": v} for v in range(0, 8)],
+        max_degree=1,
+        ground_truth={0: [f"x == {step} * i"]},
+    )
+
+
+def test_run_many_aggregates_in_input_order():
+    problems = [tiny_problem("alpha"), tiny_problem("beta", step=2)]
+    records = run_many(problems, FAST_CONFIG, jobs=1)
+    assert [r.name for r in records] == ["alpha", "beta"]
+    assert all(r.status == STATUS_OK for r in records)
+    assert all(r.result is not None for r in records)
+    assert all(r.runtime_seconds > 0 for r in records)
+    stats = summarize(records)
+    assert stats["problems"] == 2
+    assert stats["ok"] == 2
+    assert stats["error"] == stats["timeout"] == 0
+
+
+def test_run_many_records_errors_without_aborting_batch():
+    bad = Problem(
+        name="noloop",
+        source="program noloop;\ninput n;\nx = n;",
+        train_inputs=[{"n": 1}],
+    )
+    records = run_many([bad, tiny_problem("ok")], FAST_CONFIG, jobs=1)
+    assert records[0].status == STATUS_ERROR
+    assert "InferenceError" in records[0].error
+    assert records[0].result is None
+    assert records[1].status == STATUS_OK
+    assert summarize(records)["error"] == 1
+
+
+def test_run_many_honors_timeout(monkeypatch):
+    """A problem exceeding the budget is recorded as a timeout."""
+
+    def slow_infer(problem, config):
+        time.sleep(30)
+
+    monkeypatch.setattr(runner_module, "infer_invariants", slow_infer)
+    start = time.perf_counter()
+    records = run_many(
+        [tiny_problem("slow"), tiny_problem("slow2")],
+        FAST_CONFIG,
+        jobs=1,
+        timeout_seconds=0.3,
+    )
+    elapsed = time.perf_counter() - start
+    assert [r.status for r in records] == [STATUS_TIMEOUT, STATUS_TIMEOUT]
+    assert all("timed out" in r.error for r in records)
+    assert elapsed < 10
+    assert summarize(records)["timeout"] == 2
+
+
+def test_run_many_parallel_pool():
+    problems = [tiny_problem("p1"), tiny_problem("p2", step=3)]
+    seen: list[str] = []
+    records = run_many(
+        problems, FAST_CONFIG, jobs=2, progress=lambda r: seen.append(r.name)
+    )
+    assert [r.name for r in records] == ["p1", "p2"]  # input order
+    assert sorted(seen) == ["p1", "p2"]  # completion order, all reported
+    assert all(r.status == STATUS_OK for r in records)
+
+
+def test_records_serialize_to_json():
+    records = run_many([tiny_problem("json1")], FAST_CONFIG, jobs=1)
+    payload = json.dumps([r.to_dict() for r in records])
+    decoded = json.loads(payload)
+    assert decoded[0]["name"] == "json1"
+    assert decoded[0]["status"] == STATUS_OK
+    assert decoded[0]["result"]["problem"] == "json1"
+    assert "cache_stats" in decoded[0]["result"]
+
+
+def test_run_many_rejects_bad_jobs():
+    with pytest.raises(ValueError):
+        run_many([tiny_problem("x")], FAST_CONFIG, jobs=0)
+    assert run_many([], FAST_CONFIG, jobs=4) == []
+
+
+def test_run_many_rejects_non_positive_timeout():
+    with pytest.raises(ValueError):
+        run_many([tiny_problem("x")], FAST_CONFIG, timeout_seconds=0)
+    with pytest.raises(ValueError):
+        run_many([tiny_problem("x")], FAST_CONFIG, timeout_seconds=-1.0)
+
+
+def test_solved_property_guards_missing_result():
+    record = ProblemRecord(name="x", status=STATUS_TIMEOUT)
+    assert not record.solved

@@ -127,6 +127,48 @@ def test_dedup_columns():
     assert dedup_columns(matrix) == [0, 2]
 
 
+def test_dedup_columns_with_tolerance():
+    matrix = np.array([[1.0, 1.05, 2.0], [3.0, 3.0, 4.0]])
+    assert dedup_columns(matrix) == [0, 1, 2]
+    assert dedup_columns(matrix, tol=0.1) == [0, 2]
+
+
+def test_duplicate_column_map():
+    from repro.sampling import duplicate_column_map
+
+    matrix = np.array(
+        [[1.0, 1.0, 2.0, 1.0, 2.0], [3.0, 3.0, 4.0, 3.0, 4.0]]
+    )
+    assert duplicate_column_map(matrix) == {1: 0, 3: 0, 4: 2}
+
+
+def test_duplicate_column_map_canonicalizes_negative_zero():
+    from repro.sampling import duplicate_column_map
+
+    matrix = np.array([[0.0, -0.0], [1.0, 1.0]])
+    assert duplicate_column_map(matrix) == {1: 0}
+
+
+def test_duplicate_column_map_exact_for_integer_dtypes():
+    from repro.sampling import duplicate_column_map
+
+    # Distinguishable as int64 but identical after float64 coercion.
+    matrix = np.array([[2**53, 2**53 + 1], [1, 1]], dtype=np.int64)
+    assert duplicate_column_map(matrix) == {}
+    assert dedup_columns(matrix) == [0, 1]
+
+
+def test_duplicate_column_map_object_dtype_fallback():
+    from fractions import Fraction
+
+    from repro.sampling import duplicate_column_map
+
+    matrix = np.array(
+        [[Fraction(1, 2), Fraction(1, 2), Fraction(3, 2)]], dtype=object
+    )
+    assert duplicate_column_map(matrix) == {1: 0}
+
+
 def test_relax_initializers_adds_fractional_inputs():
     program = parse_program(
         """

@@ -1,0 +1,51 @@
+"""Tests for the attempt scheduler (retry policy as data)."""
+
+from repro.infer import InferenceConfig
+from repro.infer.schedule import AttemptPlan, AttemptScheduler, build_schedule
+
+
+def test_default_schedule_matches_paper_order():
+    """Default config: the paper's dropout/seed retry schedule, in order."""
+    plans = build_schedule(InferenceConfig(), fractional=False)
+    assert [p.dropout for p in plans] == [0.6, 0.7, 0.5, 0.75]
+    assert [p.seed for p in plans] == [1, 2, 3, 4]
+    assert [p.index for p in plans] == [0, 1, 2, 3]
+    assert all(p.fractional_interval is None for p in plans)
+
+
+def test_fractional_interval_schedule():
+    """§5.4: 0.5 then 0.25, staying at the finest once exhausted."""
+    plans = build_schedule(InferenceConfig(), fractional=True)
+    assert [p.fractional_interval for p in plans] == [0.5, 0.25, 0.25, 0.25]
+
+
+def test_seeds_cycle_when_fewer_than_dropouts():
+    config = InferenceConfig(dropout_schedule=(0.6, 0.7, 0.5), seeds=(7, 8))
+    plans = build_schedule(config, fractional=False)
+    assert [p.seed for p in plans] == [7, 8, 7]
+
+
+def test_scheduler_yields_all_plans_when_never_stopped():
+    scheduler = AttemptScheduler(InferenceConfig(), fractional=False)
+    seen = list(scheduler)
+    assert len(seen) == 4
+    assert scheduler.attempts_made == 4
+    assert not scheduler.stopped
+
+
+def test_scheduler_early_stop():
+    scheduler = AttemptScheduler(InferenceConfig(), fractional=False)
+    seen: list[AttemptPlan] = []
+    for plan in scheduler:
+        seen.append(plan)
+        if plan.index == 1:
+            scheduler.stop()
+    assert [p.index for p in seen] == [0, 1]
+    assert scheduler.attempts_made == 2
+    assert scheduler.stopped
+
+
+def test_plans_are_frozen_value_objects():
+    a = AttemptPlan(index=0, dropout=0.6, seed=1, fractional_interval=None)
+    b = AttemptPlan(index=0, dropout=0.6, seed=1, fractional_interval=None)
+    assert a == b and hash(a) == hash(b)
