@@ -10,7 +10,7 @@ from __future__ import annotations
 import pytest
 
 from repro.bench.nla import nla_problem
-from repro.infer import infer_invariants
+from repro.infer import InferenceEngine
 from repro.lang import run_program
 from repro.smt import format_formula
 from repro.utils import format_table
@@ -30,7 +30,7 @@ def test_fig1a_cube_traces_and_invariants(benchmark, emit):
             for s in trace.snapshots
             if s.loop_id == 0
         ]
-        result = infer_invariants(problem, config)
+        result = InferenceEngine(problem, config).run()
         return series, result
 
     series, result = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -57,7 +57,7 @@ def test_fig1b_sqrt_tight_bound(benchmark, emit):
     config = InferenceConfig(max_epochs=1500, dropout_schedule=(0.6, 0.7))
 
     def run():
-        return infer_invariants(problem, config)
+        return InferenceEngine(problem, config).run()
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     bounds = [str(a) for a in result.loops[0].sound_atoms if a.op == ">="]

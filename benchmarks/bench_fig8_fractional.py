@@ -68,13 +68,13 @@ def test_fig8_fractional_sampling(benchmark, emit):
 @pytest.mark.benchmark(group="fig8")
 def test_fig8_ps5_needs_fractional(benchmark, emit):
     """ps5 (degree 5) solves with fractional sampling enabled."""
-    from repro.infer import InferenceConfig, infer_invariants
+    from repro.infer import InferenceConfig, InferenceEngine
 
     problem = nla_problem("ps5")
     config = InferenceConfig(max_epochs=1500, dropout_schedule=(0.6, 0.7))
 
     def run():
-        return infer_invariants(problem, config)
+        return InferenceEngine(problem, config).run()
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     emit(

@@ -5,9 +5,18 @@ Reproduces the paper's headline result: G-CLN solves 26/27 NLA problems
 Our substrate differs (numpy on one CPU core, hybrid checker instead of
 Z3), so absolute times differ; the shape to check is the solved set.
 
-Columns per problem: degree, #vars, PIE (enumerative baseline within
-budget), NumInv-style (Guess-and-Check equalities + octahedral bounds),
-and G-CLN (full pipeline), plus G-CLN runtime.
+Both comparison columns run through the public API: one
+:class:`~repro.api.service.InvariantService` dispatches the ``gcln``
+and ``numinv`` registered solvers over the suite, so the records share
+one schema and — with ``REPRO_BENCH_JOBS=1`` — the NumInv pass reuses
+the G-CLN pass's traces from the shared service cache for the
+non-fractional problems (fractional-sampling problems key their traces
+by interval, which the baselines don't use, so those re-collect).
+
+Columns per problem: degree, #vars, PIE (the ``enumerative`` baseline,
+which times out on all nonlinear problems), NumInv-style
+(Guess-and-Check equalities + octahedral bounds), and G-CLN (full
+pipeline), plus G-CLN runtime.
 """
 
 from __future__ import annotations
@@ -16,11 +25,9 @@ import os
 
 import pytest
 
-from repro.baselines import guess_and_check_equalities
+from repro.api import InvariantService
 from repro.bench.nla import NLA_PROBLEMS, nla_suite
-from repro.infer.pipeline import _ground_truth_implied
-from repro.infer.runner import run_many
-from repro.sampling import build_term_basis, collect_traces, loop_dataset
+from repro.infer import InferenceConfig
 from repro.utils import format_table
 
 from benchmarks.conftest import full_mode
@@ -33,43 +40,6 @@ _QUICK_SUBSET = [
     "ps2",
     "ps3",
 ]
-
-
-def _numinv_style_solves(problem) -> bool:
-    """Guess-and-Check equality engine (NumInv's core) on each loop.
-
-    NumInv additionally uses octahedral bounds, which cannot express
-    the nonlinear inequalities (e.g. sqrt1's n >= a^2), so problems
-    whose ground truth needs one are not solvable by this baseline —
-    matching the paper's NumInv column shape.
-    """
-    traces = collect_traces(problem.program, problem.train_inputs[:150])
-    for loop_index, sources in problem.ground_truth.items():
-        if not sources:
-            continue
-        states = loop_dataset(traces, loop_index, max_states=60)
-        variables = problem.loop_variables(loop_index)
-        basis = build_term_basis(
-            variables, problem.max_degree, externals=problem.externals
-        )
-        if problem.externals:
-            states = [
-                s
-                for s in states
-                if all(
-                    getattr(s.get(a), "denominator", 1) == 1
-                    for ext in problem.externals
-                    for a in ext.args
-                )
-            ]
-        atoms = guess_and_check_equalities(states, basis, max_invariants=40)
-        truth = problem.ground_truth_atoms(loop_index)
-        eq_truth = [a for a in truth if a.op == "=="]
-        if not _ground_truth_implied(eq_truth, atoms):
-            return False
-        if any(a.op != "==" for a in truth):
-            return False  # octahedral bounds cannot express these
-    return True
 
 
 @pytest.mark.benchmark(group="table2")
@@ -85,30 +55,28 @@ def test_table2_nla(benchmark, emit):
         g_solved = 0
         numinv_solved = 0
         total_time = 0.0
-        from repro.infer import InferenceConfig
 
         # Paper-default budget: solved problems exit after 1-2 attempts,
-        # so only failures pay the full 4-attempt cost.  The G-CLN
-        # column goes through the batch runner; REPRO_BENCH_JOBS fans
-        # it out over worker processes.
-        config = InferenceConfig()
+        # so only failures pay the full 4-attempt cost.  Both columns go
+        # through the service's batch path; REPRO_BENCH_JOBS fans them
+        # out over worker processes.
         problems = nla_suite([e.name for e in entries])
         jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+        service = InvariantService(InferenceConfig())
         records = {
             r.name: r
-            for r in run_many(problems, config, jobs=jobs)
+            for r in service.solve_many(problems, solver="gcln", jobs=jobs)
+        }
+        numinv_records = {
+            r.name: r
+            for r in service.solve_many(problems, solver="numinv", jobs=jobs)
         }
         for entry in entries:
             record = records[entry.name]
             solved = record.solved
             elapsed = record.runtime_seconds
             total_time += elapsed
-            try:
-                numinv = _numinv_style_solves(
-                    next(p for p in problems if p.name == entry.name)
-                )
-            except Exception:
-                numinv = False
+            numinv = numinv_records[entry.name].solved
             g_solved += solved
             numinv_solved += numinv
             rows.append(

@@ -14,7 +14,7 @@ from __future__ import annotations
 import pytest
 
 from repro.bench.nla import nla_problem
-from repro.infer import InferenceConfig, infer_invariants
+from repro.infer import InferenceConfig, InferenceEngine
 from repro.utils import format_table
 
 from benchmarks.conftest import full_mode
@@ -60,9 +60,9 @@ def test_table3_ablation(benchmark, emit):
             row = [name]
             for overrides in _ABLATIONS.values():
                 try:
-                    result = infer_invariants(
+                    result = InferenceEngine(
                         nla_problem(name), _config(**overrides)
-                    )
+                    ).run()
                     row.append("ok" if result.solved else "x")
                 except Exception:
                     row.append("x")

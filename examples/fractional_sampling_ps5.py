@@ -10,9 +10,9 @@ Usage:  python examples/fractional_sampling_ps5.py
 """
 
 from repro.bench.nla import nla_problem
-from repro.infer import InferenceConfig, infer_invariants
+from repro.api import InvariantService
+from repro.infer import InferenceConfig
 from repro.sampling import collect_traces, fractional_inputs, loop_dataset, relax_initializers
-from repro.smt import format_formula
 
 
 def main() -> None:
@@ -29,19 +29,18 @@ def main() -> None:
         print("  ", {k: str(v) for k, v in state.items() if not k.endswith("__frac")})
 
     # Full pipeline with fractional sampling (enabled by the problem).
-    result = infer_invariants(problem, InferenceConfig(max_epochs=1500))
+    result = InvariantService(InferenceConfig(max_epochs=1500)).solve(problem)
     print(f"\nps5 solved: {result.solved} in {result.runtime_seconds:.1f}s")
-    print("invariant:", format_formula(result.invariant(0)))
+    print("invariant:", result.invariant(0))
 
     # Ablation: the same problem with fractional sampling disabled.
-    ablated = infer_invariants(
-        problem,
+    ablated = InvariantService(
         InferenceConfig(
             max_epochs=1500,
             fractional_sampling=False,
             dropout_schedule=(0.6, 0.7),
-        ),
-    )
+        )
+    ).solve(problem)
     print(f"without fractional sampling: solved = {ablated.solved}")
 
 

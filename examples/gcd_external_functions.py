@@ -10,10 +10,9 @@ Usage:  python examples/gcd_external_functions.py
 """
 
 from repro.bench.nla import nla_problem
-from repro.infer import infer_invariants
+from repro.api import InvariantService
 from repro.sampling import collect_traces, loop_dataset
 from repro.sampling.termgen import extend_state
-from repro.smt import format_formula
 
 
 def main() -> None:
@@ -27,15 +26,12 @@ def main() -> None:
         extended = extend_state(state, problem.externals)
         print("  sample:", {k: extended[k] for k in ("a", "b", "u", "v", "gcd(a,b)", "gcd(x,y)")})
 
-    result = infer_invariants(problem)
+    result = InvariantService().solve(problem)
     print(f"\nlcm2 solved: {result.solved} in {result.runtime_seconds:.1f}s")
-    print("invariant:", format_formula(result.invariant(0)))
-    gcd_atoms = [
-        a
-        for a in result.loops[0].sound_atoms
-        if any("gcd" in str(v) for v in a.poly.variables)
-    ]
-    print("gcd-involving atoms:", [str(a) for a in gcd_atoms])
+    print("invariant:", result.invariant(0))
+    # SolveResult atoms are pre-rendered strings.
+    gcd_atoms = [a for a in result.loops[0].sound_atoms if "gcd" in a]
+    print("gcd-involving atoms:", gcd_atoms)
 
 
 if __name__ == "__main__":

@@ -1,13 +1,16 @@
 """Quickstart: infer a nonlinear loop invariant end to end.
 
 Runs the full G-CLN pipeline on the power-sum loop ``ps2`` (Fig. 8a's
-little sibling): sample traces, train the gated CLN, extract and check
-the invariant 2x = y^2 + y.
+little sibling) through the public API: create an
+:class:`~repro.api.service.InvariantService`, solve, and read the
+structured :class:`~repro.api.solver.SolveResult`.  The same service
+call with ``solver="numinv"`` (or any name from
+``python -m repro solvers``) runs a baseline under the same schema.
 
 Usage:  python examples/quickstart.py
 """
 
-from repro import InferenceConfig, Problem, format_formula, infer_invariants
+from repro import InferenceConfig, InvariantService, Problem
 
 SOURCE = """
 program ps2;
@@ -28,16 +31,18 @@ def main() -> None:
         max_degree=2,
         ground_truth={0: ["2 * x == y * y + y"]},
     )
-    config = InferenceConfig(max_epochs=1500)
-    result = infer_invariants(problem, config)
+    service = InvariantService(InferenceConfig(max_epochs=1500))
+    result = service.solve(problem)  # solver="gcln" is the default
 
     print(f"problem:   {problem.name}")
     print(f"solved:    {result.solved} "
           f"(in {result.runtime_seconds:.1f}s, {result.attempts} attempt(s))")
     for loop in result.loops:
-        print(f"loop {loop.loop_index} invariant: "
-              f"{format_formula(loop.invariant)}")
+        print(f"loop {loop.loop_index} invariant: {loop.invariant}")
         print(f"  ground truth implied: {loop.ground_truth_implied}")
+    stages = result.to_dict()["stage_timings"]
+    print("stage profile: "
+          + ", ".join(f"{k}={v:.2f}s" for k, v in stages.items()))
 
 
 if __name__ == "__main__":

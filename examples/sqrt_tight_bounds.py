@@ -22,7 +22,7 @@ from repro.cln.bounds import (
     train_bound_bank,
 )
 from repro.cln.model import GCLNConfig
-from repro.infer import infer_invariants
+from repro.api import InvariantService
 from repro.sampling import (
     build_term_basis,
     collect_traces,
@@ -30,8 +30,6 @@ from repro.sampling import (
     loop_dataset,
     normalize_rows,
 )
-from repro.smt import format_formula
-
 
 def main() -> None:
     problem = nla_problem("sqrt1")
@@ -63,15 +61,17 @@ def main() -> None:
 
     # 3. The full pipeline combines these with the learned equalities
     #    and checks the three verification conditions.
-    result = infer_invariants(problem)
+    result = InvariantService().solve(problem)
     print(f"\nfull pipeline solved: {result.solved}")
-    print(f"invariant: {format_formula(result.invariant(0))[:200]} ...")
+    print(f"invariant: {result.invariant(0)[:200]} ...")
 
     checker = InvariantChecker(
         problem.program, problem.effective_check_inputs
     )
     posts = [s.cond for s in problem.program.asserts]
-    report = checker.check_invariant(0, result.invariant(0), posts)
+    # The checker wants the Formula object; the gcln solver keeps its
+    # native InferenceResult on SolveResult.raw.
+    report = checker.check_invariant(0, result.raw.invariant(0), posts)
     print(f"VC check: pre={report.precondition.value} "
           f"inductive={report.inductive.value} "
           f"post={report.postcondition.value}")

@@ -8,9 +8,9 @@ checker (the Z3 substitute), a mini imperative language for the
 benchmark programs, the G-CLN model itself, and the baseline systems
 used in the paper's comparisons.
 
-Quickstart::
+Quickstart (the public API is :mod:`repro.api`)::
 
-    from repro import Problem, infer_invariants
+    from repro import InvariantService, Problem
     problem = Problem(
         name="ps2",
         source='''
@@ -24,7 +24,9 @@ Quickstart::
         train_inputs=[{"k": v} for v in range(0, 25)],
         ground_truth={0: ["2 * x == y * y + y"]},
     )
-    result = infer_invariants(problem)
+    service = InvariantService()
+    result = service.solve(problem)                      # G-CLN
+    baseline = service.solve(problem, solver="numinv")   # same schema
     print(result.solved, result.invariant(0))
 """
 
@@ -36,11 +38,19 @@ from repro.infer import (
     Problem,
     infer_invariants,
 )
+from repro.api import (
+    InvariantService,
+    SolveResult,
+    Solver,
+    available_solvers,
+    get_solver,
+    register_solver,
+)
 from repro.cln import GCLN, GCLNConfig, train_gcln, extract_formula
 from repro.smt import Formula, Atom, And, Or, Not, format_formula
 from repro.lang import parse_program, run_program
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ReproError",
@@ -49,6 +59,12 @@ __all__ = [
     "InferenceEngine",
     "InferenceResult",
     "infer_invariants",
+    "InvariantService",
+    "Solver",
+    "SolveResult",
+    "available_solvers",
+    "get_solver",
+    "register_solver",
     "GCLN",
     "GCLNConfig",
     "train_gcln",

@@ -1,0 +1,206 @@
+"""The long-lived invariant-inference service.
+
+:class:`InvariantService` is the session object the public API is
+built around: it owns one bounded :class:`~repro.sampling.cache.
+TraceCache` shared by every solve (so repeated queries on the same
+program skip interpretation entirely), per-solver configuration, and
+an :class:`~repro.api.events.EventBus` that streams typed lifecycle
+events to subscribers.  The CLI, the batch benchmarks, and any future
+async front-end (ROADMAP "Async serving") all drive inference through
+this one object.
+
+Usage::
+
+    from repro.api import InvariantService, StageTimed
+
+    service = InvariantService()
+    service.subscribe(lambda e: print(e.to_dict()), kinds=(StageTimed,))
+    result = service.solve(problem)                    # G-CLN
+    baseline = service.solve(problem, solver="guess_and_check")
+    assert set(result.to_dict()) == set(baseline.to_dict())  # same schema
+
+Events are delivered synchronously on the solving thread.  With
+``solve_many(jobs > 1)`` the solves happen in worker processes, so
+per-stage timings travel back inside each ``SolveResult`` instead of
+streaming live; only ``ProblemSolved`` completion events are emitted
+(from the parent) in that mode.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence
+
+from repro.api.events import Event, EventBus, ProblemSolved
+from repro.api.solver import SolveResult, available_solvers, get_solver
+from repro.sampling.cache import TraceCache
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.infer.config import InferenceConfig
+    from repro.infer.problem import Problem
+    from repro.infer.runner import ProblemRecord
+
+# A long-lived service sees many problems; give it more headroom than a
+# single-problem engine (TraceCache defaults to 128) while still
+# bounding memory growth across an unbounded problem stream.
+DEFAULT_CACHE_ENTRIES = 512
+
+
+class InvariantService:
+    """Long-lived session: shared cache + per-solver config + event bus.
+
+    Args:
+        config: default :class:`~repro.infer.config.InferenceConfig`
+            for every solver (``None`` = paper defaults).
+        solver_configs: per-solver overrides keyed by registry name;
+            they win over ``config`` for that solver.
+        cache: inject an existing :class:`TraceCache` to share with
+            other components; by default the service owns a fresh one
+            bounded to ``max_cache_entries``.
+        max_cache_entries: LRU bound for the owned cache (ignored when
+            ``cache`` is injected).
+    """
+
+    def __init__(
+        self,
+        config: "InferenceConfig | None" = None,
+        *,
+        solver_configs: Mapping[str, "InferenceConfig"] | None = None,
+        cache: TraceCache | None = None,
+        max_cache_entries: int = DEFAULT_CACHE_ENTRIES,
+    ):
+        self.cache = (
+            cache if cache is not None else TraceCache(max_entries=max_cache_entries)
+        )
+        self.bus = EventBus()
+        self._default_config = config
+        self._solver_configs: dict[str, "InferenceConfig"] = dict(
+            solver_configs or {}
+        )
+
+    # -- configuration ---------------------------------------------------------
+
+    def configure(self, solver: str, config: "InferenceConfig") -> None:
+        """Set the config used for ``solver`` (overrides the default)."""
+        get_solver(solver)  # validate the name eagerly
+        self._solver_configs[solver] = config
+
+    def config_for(self, solver: str) -> "InferenceConfig | None":
+        """Effective config for one solver (override, else default)."""
+        return self._solver_configs.get(solver, self._default_config)
+
+    @property
+    def cache_stats(self) -> dict[str, int]:
+        """Shared-cache counters (hits/misses/evictions), a snapshot."""
+        return self.cache.stats.to_dict()
+
+    # -- events ----------------------------------------------------------------
+
+    def subscribe(
+        self,
+        callback: Callable[[Event], None],
+        kinds: Iterable[type] | None = None,
+    ) -> Callable[[], None]:
+        """Stream lifecycle events to ``callback``; returns unsubscriber.
+
+        ``kinds`` optionally filters to specific event classes, e.g.
+        ``kinds=(StageTimed,)`` for a profiler.
+        """
+        return self.bus.subscribe(callback, kinds=kinds)
+
+    # -- solving ---------------------------------------------------------------
+
+    def solve(self, problem: "Problem", solver: str = "gcln") -> SolveResult:
+        """Run one registered solver on one problem.
+
+        The solver shares the service cache and emits events to the
+        service bus; a ``ProblemSolved`` event is emitted on completion
+        whether or not the problem was solved.
+
+        Raises:
+            UnknownSolverError: for unregistered solver names (the
+                message lists :func:`available_solvers`).
+        """
+        solver_obj = get_solver(solver)
+        result = solver_obj.solve(
+            problem,
+            config=self.config_for(solver),
+            cache=self.cache,
+            events=self.bus.emit,
+        )
+        self.bus.emit(
+            ProblemSolved(
+                problem=problem.name,
+                solver=solver,
+                solved=result.solved,
+                runtime_seconds=result.runtime_seconds,
+                attempts=result.attempts,
+            )
+        )
+        return result
+
+    def solve_many(
+        self,
+        problems: Sequence["Problem"],
+        solver: str = "gcln",
+        *,
+        jobs: int = 1,
+        timeout_seconds: float | None = None,
+        progress: Callable[["ProblemRecord"], None] | None = None,
+    ) -> list["ProblemRecord"]:
+        """Batch-solve a suite through the runner, one record per problem.
+
+        Exactly one ``ProblemSolved`` event is emitted per record, in
+        completion order, including timed-out and errored problems
+        (``attempts`` is 0 when no result came back).  With
+        ``jobs == 1`` every solve runs in-process through
+        :meth:`solve`, sharing the service cache and streaming the full
+        event feed.  With ``jobs > 1`` the problems fan out over a
+        process pool (each worker builds its own solver and cache);
+        per-stage timings come back inside each record's result, and
+        only the completion events stream live.
+        """
+        from repro.infer.runner import STATUS_OK, run_many
+
+        get_solver(solver)  # fail fast on unknown names, before any work
+        inline = jobs == 1
+
+        def on_record(record: "ProblemRecord") -> None:
+            # Inline ok-records already emitted ProblemSolved via
+            # self.solve; everything else (pool records, timeouts,
+            # errors) completes here.
+            if not (inline and record.status == STATUS_OK):
+                self.bus.emit(
+                    ProblemSolved(
+                        problem=record.name,
+                        solver=solver,
+                        solved=record.solved,
+                        runtime_seconds=record.runtime_seconds,
+                        attempts=(
+                            record.result.attempts
+                            if record.result is not None
+                            else 0
+                        ),
+                    )
+                )
+            if progress is not None:
+                progress(record)
+
+        return run_many(
+            problems,
+            self.config_for(solver),
+            jobs=jobs,
+            timeout_seconds=timeout_seconds,
+            progress=on_record,
+            solver=solver,
+            solve_fn=(
+                (lambda problem, _config: self.solve(problem, solver))
+                if inline
+                else None
+            ),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"InvariantService(solvers={list(available_solvers())}, "
+            f"cache_entries={len(self.cache)}, subscribers={len(self.bus)})"
+        )

@@ -1,0 +1,241 @@
+"""The unified ``Solver`` protocol, result type, and solver registry.
+
+Every inference strategy in the repo — the G-CLN pipeline and all the
+baselines — is exposed as a :class:`Solver`: one object with a ``name``
+and a ``solve(problem, ...)`` method returning a :class:`SolveResult`.
+The registry maps names to solver factories so the CLI, the batch
+runner, and the benchmarks dispatch by string and compare strategies
+under one result schema.
+
+The wire format is deliberately rigid: :data:`RESULT_KEYS` and
+:data:`LOOP_KEYS` enumerate exactly the keys every
+``SolveResult.to_dict()`` emits, regardless of solver, so downstream
+consumers (JSON records, dashboards, the sharded runner planned in the
+ROADMAP) never branch on the strategy that produced a record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Protocol, runtime_checkable
+
+from repro.api.events import STAGES, EventSink
+from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.infer.config import InferenceConfig
+    from repro.infer.problem import Problem
+    from repro.sampling.cache import TraceCache
+
+
+class UnknownSolverError(ReproError):
+    """Raised when a solver name is not in the registry."""
+
+
+@dataclass
+class LoopReport:
+    """Per-loop outcome, identical in shape for every solver.
+
+    Attributes:
+        loop_index: which loop of the program.
+        invariant: the learned invariant, pretty-printed.
+        sound_atoms: atoms the checker validated (reachability-sound
+            and inductive).
+        candidate_atoms: everything the strategy proposed for the loop.
+        rejected_atoms: ``[atom, reason]`` pairs the checker refused.
+        ground_truth_implied: whether the documented invariant follows
+            from the sound atoms.
+    """
+
+    loop_index: int
+    invariant: str
+    sound_atoms: list[str] = field(default_factory=list)
+    candidate_atoms: list[str] = field(default_factory=list)
+    rejected_atoms: list[list[str]] = field(default_factory=list)
+    ground_truth_implied: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "loop_index": self.loop_index,
+            "invariant": self.invariant,
+            "sound_atoms": list(self.sound_atoms),
+            "candidate_atoms": list(self.candidate_atoms),
+            "rejected_atoms": [list(pair) for pair in self.rejected_atoms],
+            "ground_truth_implied": self.ground_truth_implied,
+        }
+
+
+@dataclass
+class SolveResult:
+    """Outcome of one ``Solver.solve`` call — the common wire format.
+
+    Attributes:
+        solver: registry name of the strategy that produced the result.
+        problem: problem name.
+        solved: whether the documented invariant (or, without ground
+            truth, a checker-valid conjunction) was reached.
+        runtime_seconds: wall-clock time for the whole solve.
+        attempts: attempts used (baselines always report 1).
+        loops: one :class:`LoopReport` per loop.
+        notes: free-form diagnostics.
+        stage_timings: wall-clock seconds per pipeline stage, keyed by
+            :data:`repro.api.events.STAGES` (ROADMAP "Per-stage
+            profiling").
+        cache_stats: the :class:`~repro.sampling.cache.TraceCache`
+            counters observed at the end of the solve.
+        raw: the strategy's native result object when it has one (the
+            G-CLN adapter stores its ``InferenceResult`` here); never
+            serialized.
+    """
+
+    solver: str
+    problem: str
+    solved: bool
+    runtime_seconds: float = 0.0
+    attempts: int = 1
+    loops: list[LoopReport] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    stage_timings: dict[str, float] = field(default_factory=dict)
+    cache_stats: dict[str, int] = field(default_factory=dict)
+    raw: object | None = None
+
+    def invariant(self, loop_index: int = 0) -> str:
+        """Pretty-printed invariant for one loop (``"true"`` if absent)."""
+        for loop in self.loops:
+            if loop.loop_index == loop_index:
+                return loop.invariant
+        return "true"
+
+    def to_dict(self) -> dict:
+        """JSON-serializable record; keys are exactly :data:`RESULT_KEYS`."""
+        timings = {s: float(self.stage_timings.get(s, 0.0)) for s in STAGES}
+        return {
+            "solver": self.solver,
+            "problem": self.problem,
+            "solved": self.solved,
+            "runtime_seconds": self.runtime_seconds,
+            "attempts": self.attempts,
+            "notes": list(self.notes),
+            "stage_timings": timings,
+            "cache_stats": dict(self.cache_stats),
+            "loops": [loop.to_dict() for loop in self.loops],
+        }
+
+
+# The exact key sets of the wire format, for schema validation.
+RESULT_KEYS = frozenset(
+    {
+        "solver",
+        "problem",
+        "solved",
+        "runtime_seconds",
+        "attempts",
+        "notes",
+        "stage_timings",
+        "cache_stats",
+        "loops",
+    }
+)
+LOOP_KEYS = frozenset(
+    {
+        "loop_index",
+        "invariant",
+        "sound_atoms",
+        "candidate_atoms",
+        "rejected_atoms",
+        "ground_truth_implied",
+    }
+)
+
+
+@runtime_checkable
+class Solver(Protocol):
+    """What every registered inference strategy implements."""
+
+    name: str
+
+    def solve(
+        self,
+        problem: "Problem",
+        *,
+        config: "InferenceConfig | None" = None,
+        cache: "TraceCache | None" = None,
+        events: EventSink | None = None,
+    ) -> SolveResult:
+        """Run the strategy on one problem.
+
+        Args:
+            problem: the benchmark problem.
+            config: shared pipeline knobs; strategies use the subset
+                that applies to them (``None`` = defaults).
+            cache: trace/matrix memo to share with other solves; pass
+                the service's cache so strategies reuse each other's
+                trace collection.
+            events: sink for lifecycle events (``None`` = silent).
+        """
+        ...
+
+
+@dataclass(frozen=True)
+class SolverEntry:
+    """One registry row: the factory plus display metadata."""
+
+    name: str
+    factory: Callable[[], Solver]
+    description: str = ""
+
+
+_REGISTRY: dict[str, SolverEntry] = {}
+
+
+def register_solver(
+    name: str,
+    factory: Callable[[], Solver],
+    *,
+    description: str = "",
+    replace: bool = False,
+) -> None:
+    """Register a solver factory under ``name``.
+
+    Args:
+        name: registry key (what ``--solver`` accepts).
+        factory: zero-argument callable returning a :class:`Solver`.
+        description: one-line summary for ``python -m repro solvers``.
+        replace: allow overwriting an existing registration.
+    """
+    if not replace and name in _REGISTRY:
+        raise ReproError(
+            f"solver {name!r} is already registered; pass replace=True to override"
+        )
+    _REGISTRY[name] = SolverEntry(name=name, factory=factory, description=description)
+
+
+def unregister_solver(name: str) -> None:
+    """Remove a registration (mainly for tests)."""
+    _REGISTRY.pop(name, None)
+
+
+def available_solvers() -> tuple[str, ...]:
+    """Registered solver names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def solver_entries() -> tuple[SolverEntry, ...]:
+    """Registry rows (name, factory, description), sorted by name."""
+    return tuple(_REGISTRY[name] for name in available_solvers())
+
+
+def get_solver(name: str) -> Solver:
+    """Instantiate the solver registered under ``name``.
+
+    Raises:
+        UnknownSolverError: listing the available names, so a typo on
+            the CLI or in a config file is self-diagnosing.
+    """
+    entry = _REGISTRY.get(name)
+    if entry is None:
+        known = ", ".join(available_solvers()) or "<none>"
+        raise UnknownSolverError(
+            f"unknown solver {name!r}; available solvers: {known}"
+        )
+    return entry.factory()

@@ -35,6 +35,12 @@ from repro.checker.result import CheckOutcome, CheckReport
 from repro.checker.symbolic import equality_inductive_symbolic
 
 
+# Default seed for the checker's perturbation-sampling RNG.  Shared by
+# the inference engine and the baseline solver adapters so every solver
+# is filtered by an identically-behaved checker.
+DEFAULT_CHECKER_SEED = 10_007
+
+
 @dataclass
 class AtomFilterResult:
     """Outcome of :meth:`InvariantChecker.filter_sound_atoms`."""

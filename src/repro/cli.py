@@ -1,13 +1,21 @@
 """Command-line interface: ``python -m repro <command>``.
 
+Every inference command drives the public API: an
+:class:`~repro.api.service.InvariantService` with a registered solver
+selected by ``--solver`` (default ``gcln``).
+
 Commands:
 
-* ``run <nla-problem>`` — run the full inference pipeline on one of the
-  27 NLA benchmark problems and print the learned invariants
-  (``--json PATH`` additionally writes the structured result).
-* ``run-all`` — run a whole suite (``nla``, ``code2inv``, or
-  ``stability``) through the parallel batch runner, with ``--jobs N``
-  worker processes, per-problem ``--timeout``, and ``--json`` output.
+* ``run <nla-problem> [--solver NAME]`` — run one registered solver on
+  one of the 27 NLA benchmark problems and print the learned
+  invariants (``--json PATH`` additionally writes the structured
+  result; ``--events`` streams lifecycle events as they happen).
+* ``run-all [--solver NAME]`` — run a whole suite (``nla``,
+  ``code2inv``, or ``stability``) through the service's batch path,
+  with ``--jobs N`` worker processes, per-problem ``--timeout``, and
+  ``--json`` output.  Records share one schema across solvers, so two
+  runs with different ``--solver`` values are directly comparable.
+* ``solvers`` — list the registered solvers.
 * ``list`` — list the available benchmark problems with metadata.
 * ``trace <nla-problem> --inputs k=5`` — execute a benchmark program on
   one input assignment and dump the loop-head trace.
@@ -20,12 +28,12 @@ import json
 import sys
 from fractions import Fraction
 
+from repro.api import InvariantService, solver_entries
 from repro.bench import NLA_PROBLEMS, nla_problem, suite_problems, SUITES
 from repro.errors import ReproError
-from repro.infer import InferenceConfig, infer_invariants
-from repro.infer.runner import run_many, summarize
+from repro.infer import InferenceConfig
+from repro.infer.runner import summarize
 from repro.lang import run_program
-from repro.smt import format_formula
 from repro.utils import format_table
 
 
@@ -63,16 +71,42 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_event(event) -> None:
+    payload = event.to_dict()
+    kind = payload.pop("event")
+    detail = " ".join(
+        f"{k}={v}" for k, v in payload.items() if v is not None
+    )
+    print(f"[event] {kind:<17} {detail}", flush=True)
+
+
+def _cmd_solvers(_args: argparse.Namespace) -> int:
+    rows = [[entry.name, entry.description] for entry in solver_entries()]
+    print(format_table(["solver", "strategy"], rows, title="registered solvers"))
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     problem = nla_problem(args.problem)
-    config = InferenceConfig(max_epochs=args.epochs)
-    result = infer_invariants(problem, config)
+    service = InvariantService(InferenceConfig(max_epochs=args.epochs))
+    if args.events:
+        service.subscribe(_print_event)
+    try:
+        result = service.solve(problem, solver=args.solver)
+    except ReproError as exc:
+        raise SystemExit(str(exc)) from exc
     print(f"problem:  {problem.name}")
+    print(f"solver:   {result.solver}")
     print(f"solved:   {result.solved} "
           f"({result.runtime_seconds:.1f}s, {result.attempts} attempt(s))")
+    stages = ", ".join(
+        f"{stage}={seconds:.2f}s"
+        for stage, seconds in result.to_dict()["stage_timings"].items()
+    )
+    print(f"stages:   {stages}")
     for loop in result.loops:
         print(f"loop {loop.loop_index}:")
-        print(f"  invariant: {format_formula(loop.invariant)}")
+        print(f"  invariant: {loop.invariant}")
         print(f"  ground truth implied: {loop.ground_truth_implied}")
     if args.json:
         _write_json(args.json, result.to_dict())
@@ -90,7 +124,7 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
         raise SystemExit(str(exc)) from exc
     if not problems:
         raise SystemExit(f"no problems selected from suite {args.suite!r}")
-    config = InferenceConfig(max_epochs=args.epochs)
+    service = InvariantService(InferenceConfig(max_epochs=args.epochs))
 
     def progress(record) -> None:
         detail = (
@@ -104,13 +138,16 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
             flush=True,
         )
 
-    records = run_many(
-        problems,
-        config,
-        jobs=args.jobs,
-        timeout_seconds=args.timeout,
-        progress=progress,
-    )
+    try:
+        records = service.solve_many(
+            problems,
+            solver=args.solver,
+            jobs=args.jobs,
+            timeout_seconds=args.timeout,
+            progress=progress,
+        )
+    except ReproError as exc:
+        raise SystemExit(str(exc)) from exc
     stats = summarize(records)
     rows = [
         [
@@ -135,7 +172,10 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
         format_table(
             ["problem", "status", "solved", "attempts", "time"],
             rows,
-            title=f"run-all — suite {args.suite}, {args.jobs} job(s)",
+            title=(
+                f"run-all — suite {args.suite}, solver {args.solver}, "
+                f"{args.jobs} job(s)"
+            ),
         )
     )
     if args.json:
@@ -143,6 +183,7 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
             args.json,
             {
                 "suite": args.suite,
+                "solver": args.solver,
                 "jobs": args.jobs,
                 "timeout_seconds": args.timeout,
                 "summary": stats,
@@ -181,10 +222,25 @@ def build_parser() -> argparse.ArgumentParser:
         func=_cmd_list
     )
 
+    sub.add_parser(
+        "solvers", help="list registered inference solvers"
+    ).set_defaults(func=_cmd_solvers)
+
     run_parser = sub.add_parser("run", help="infer invariants for a problem")
     run_parser.add_argument("problem", help="NLA problem name (see 'list')")
     run_parser.add_argument(
+        "--solver",
+        default="gcln",
+        metavar="NAME",
+        help="registered solver to use (see 'solvers'; default: gcln)",
+    )
+    run_parser.add_argument(
         "--epochs", type=int, default=2000, help="training epochs per attempt"
+    )
+    run_parser.add_argument(
+        "--events",
+        action="store_true",
+        help="stream lifecycle events (attempts, stage timings, checks)",
     )
     run_parser.add_argument(
         "--json",
@@ -198,6 +254,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     all_parser.add_argument(
         "--suite", choices=SUITES, default="nla", help="which suite to run"
+    )
+    all_parser.add_argument(
+        "--solver",
+        default="gcln",
+        metavar="NAME",
+        help="registered solver to use (see 'solvers'; default: gcln)",
     )
     all_parser.add_argument(
         "--problems",

@@ -23,7 +23,13 @@ The runtime is staged, with one module per stage boundary:
   training, extraction, soundness filtering, solved test.
 * :mod:`repro.infer.runner` — the batch subsystem:
   :func:`~repro.infer.runner.run_many` fans many problems out over a
-  process pool with per-problem timeouts and structured records.
+  process pool with per-problem timeouts and structured records,
+  dispatching through the :mod:`repro.api` solver registry.
+
+This package is the *runtime*; the public surface is :mod:`repro.api`
+(the ``Solver`` protocol, registry, and ``InvariantService``), which
+wraps the engine as the ``"gcln"`` solver.  ``infer_invariants`` is
+kept as a deprecated shim that delegates to the service.
 """
 
 from repro.infer.problem import Problem, parse_ground_truth

@@ -18,11 +18,21 @@ redundant trace collection for an unchanged (inputs, interval) pair.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.checker.vc import InvariantChecker
+from repro.api.events import (
+    STAGES,
+    AttemptStarted,
+    Event,
+    EventSink,
+    StageTimed,
+    emit_check_events,
+    timed_stage,
+)
+from repro.checker.vc import DEFAULT_CHECKER_SEED, InvariantChecker
 from repro.checker.result import CheckOutcome
 from repro.cln.bounds import BoundBank, enumerate_bound_masks, extract_bound_atoms, train_bound_bank
 from repro.cln.extract import extract_equalities
@@ -42,12 +52,19 @@ from repro.infer.stages import build_matrix, collect_states, instantiate_fractio
 
 @dataclass
 class LoopResult:
-    """Inference outcome for one loop."""
+    """Inference outcome for one loop.
+
+    ``rejected_atoms`` records every checker rejection across *all*
+    attempts as ``(atom string, reason)`` pairs — rejected atoms are
+    dropped from the candidate pool permanently, so the final attempt's
+    ``candidate_atoms`` alone would under-report them.
+    """
 
     loop_index: int
     invariant: Formula
     sound_atoms: list[Atom] = field(default_factory=list)
     candidate_atoms: list[Atom] = field(default_factory=list)
+    rejected_atoms: list[tuple[str, str]] = field(default_factory=list)
     ground_truth_implied: bool = False
 
     def to_dict(self) -> dict:
@@ -57,6 +74,7 @@ class LoopResult:
             "invariant": format_formula(self.invariant),
             "sound_atoms": [str(a) for a in self.sound_atoms],
             "candidate_atoms": [str(a) for a in self.candidate_atoms],
+            "rejected_atoms": [list(pair) for pair in self.rejected_atoms],
             "ground_truth_implied": self.ground_truth_implied,
         }
 
@@ -72,6 +90,9 @@ class InferenceResult:
     attempts: int = 0
     notes: list[str] = field(default_factory=list)
     cache_stats: dict[str, int] = field(default_factory=dict)
+    # Wall-clock seconds per pipeline stage, keyed by
+    # repro.api.events.STAGES, summed over attempts.
+    stage_timings: dict[str, float] = field(default_factory=dict)
 
     def invariant(self, loop_index: int = 0) -> Formula:
         for loop in self.loops:
@@ -88,6 +109,9 @@ class InferenceResult:
             "runtime_seconds": self.runtime_seconds,
             "notes": list(self.notes),
             "cache_stats": dict(self.cache_stats),
+            "stage_timings": {
+                s: float(self.stage_timings.get(s, 0.0)) for s in STAGES
+            },
             "loops": [loop.to_dict() for loop in self.loops],
         }
 
@@ -101,26 +125,38 @@ class InferenceEngine:
         cache: trace/matrix memo shared across attempts; pass an
             existing instance to also share it across engines (e.g.
             repeated runs of one problem, or with the checker).
+        events: optional sink for lifecycle events (AttemptStarted,
+            StageTimed, CandidateChecked); the
+            :class:`~repro.api.service.InvariantService` passes its
+            event bus here.
     """
+
+    SOLVER_NAME = "gcln"
 
     def __init__(
         self,
         problem: Problem,
         config: InferenceConfig | None = None,
         cache: TraceCache | None = None,
+        events: EventSink | None = None,
     ):
         self.problem = problem
         self.config = config if config is not None else InferenceConfig()
         self.cache = cache if cache is not None else TraceCache()
+        self._events = events
         self._checker = InvariantChecker(
             problem.program,
             problem.effective_check_inputs,
             externals=problem.externals,
-            rng=np.random.default_rng(10_007),
+            rng=np.random.default_rng(DEFAULT_CHECKER_SEED),
             trace_cache=self.cache,
         )
 
     # -- main loop -------------------------------------------------------------
+
+    def _emit(self, event: Event) -> None:
+        if self._events is not None:
+            self._events(event)
 
     def run(self) -> InferenceResult:
         problem = self.problem
@@ -128,28 +164,45 @@ class InferenceEngine:
         program = problem.program
         start = time.perf_counter()
         result = InferenceResult(problem_name=problem.name, solved=False)
+        totals = {stage: 0.0 for stage in STAGES}
 
         n_loops = len(program.loops)
         if n_loops == 0:
             raise InferenceError(f"problem {problem.name!r} has no loops")
 
         accumulated: dict[int, dict[str, Atom]] = {i: {} for i in range(n_loops)}
+        # Checker rejections accumulated over every attempt (atom -> reason);
+        # the per-attempt candidate pool drops them permanently.
+        rejections: dict[int, dict[str, str]] = {i: {} for i in range(n_loops)}
         scheduler = AttemptScheduler(config, fractional=problem.fractional)
 
         solved = False
         for plan in scheduler:
-            dataset = collect_states(
-                problem, config, plan.fractional_interval, self.cache
+            attempt = plan.index + 1
+            self._emit(
+                AttemptStarted(
+                    problem=problem.name,
+                    solver=self.SOLVER_NAME,
+                    attempt=attempt,
+                    dropout=plan.dropout,
+                    fractional_interval=plan.fractional_interval,
+                )
             )
+            timings = {stage: 0.0 for stage in STAGES}
+            with timed_stage(timings, "collect"):
+                dataset = collect_states(
+                    problem, config, plan.fractional_interval, self.cache
+                )
             gcln_config = config.gcln_for_attempt(plan.dropout)
 
             for loop_index in range(n_loops):
                 loop_states = dataset.states[loop_index]
                 if len(loop_states) < 3:
                     continue
-                bundle = build_matrix(
-                    problem, config, dataset, loop_index, self.cache
-                )
+                with timed_stage(timings, "collect"):
+                    bundle = build_matrix(
+                        problem, config, dataset, loop_index, self.cache
+                    )
                 basis, data = bundle.basis, bundle.data
                 for atom in instantiate_fractional(
                     bundle.degenerate, loop_states, dataset.fractional_vars
@@ -160,36 +213,43 @@ class InferenceEngine:
                     [m.degree for m in basis.monomials],
                     [len(m.variables) for m in basis.monomials],
                 )
+                eq_atoms: list[Atom] = []
                 try:
-                    model = GCLN(
-                        len(basis),
-                        gcln_config,
-                        rng,
-                        protected_terms=[0],
-                        term_weights=weights,
-                    )
-                    train_gcln(model, data)
-                    eq_atoms = extract_equalities(model, basis, loop_states)
+                    with timed_stage(timings, "train"):
+                        model = GCLN(
+                            len(basis),
+                            gcln_config,
+                            rng,
+                            protected_terms=[0],
+                            term_weights=weights,
+                        )
+                        train_gcln(model, data)
+                    with timed_stage(timings, "extract"):
+                        eq_atoms = extract_equalities(model, basis, loop_states)
                 except TrainingError as exc:
                     result.notes.append(f"loop {loop_index}: training failed: {exc}")
                     eq_atoms = []
-                for atom in instantiate_fractional(
-                    eq_atoms, loop_states, dataset.fractional_vars
-                ):
-                    accumulated[loop_index].setdefault(str(atom), atom)
+                with timed_stage(timings, "extract"):
+                    for atom in instantiate_fractional(
+                        eq_atoms, loop_states, dataset.fractional_vars
+                    ):
+                        accumulated[loop_index].setdefault(str(atom), atom)
 
                 if problem.learn_inequalities:
                     term_vars = [m.variables for m in basis.monomials]
                     term_degs = [m.degree for m in basis.monomials]
+                    ge_atoms: list[Atom] = []
                     try:
-                        masks = enumerate_bound_masks(
-                            term_vars, term_degs, gcln_config
-                        )
-                        bank = BoundBank(masks, gcln_config, rng)
-                        train_bound_bank(bank, data)
-                        ge_atoms = extract_bound_atoms(
-                            bank, basis, loop_states, data
-                        )
+                        with timed_stage(timings, "train"):
+                            masks = enumerate_bound_masks(
+                                term_vars, term_degs, gcln_config
+                            )
+                            bank = BoundBank(masks, gcln_config, rng)
+                            train_bound_bank(bank, data)
+                        with timed_stage(timings, "extract"):
+                            ge_atoms = extract_bound_atoms(
+                                bank, basis, loop_states, data
+                            )
                     except TrainingError as exc:
                         result.notes.append(
                             f"loop {loop_index}: inequality training failed: {exc}"
@@ -203,7 +263,21 @@ class InferenceEngine:
             all_implied = True
             for loop_index in range(n_loops):
                 candidates = list(accumulated[loop_index].values())
-                filtered = self._checker.filter_sound_atoms(loop_index, candidates)
+                with timed_stage(timings, "check"):
+                    filtered = self._checker.filter_sound_atoms(
+                        loop_index, candidates
+                    )
+                if self._events is not None:
+                    emit_check_events(
+                        self._events,
+                        problem.name,
+                        self.SOLVER_NAME,
+                        loop_index,
+                        filtered.sound,
+                        filtered.rejected,
+                    )
+                for atom, reason in filtered.rejected:
+                    rejections[loop_index].setdefault(str(atom), reason)
                 # Drop rejected atoms permanently.
                 sound_keys = {str(a) for a in filtered.sound}
                 accumulated[loop_index] = {
@@ -222,6 +296,7 @@ class InferenceEngine:
                         invariant=invariant,
                         sound_atoms=filtered.sound,
                         candidate_atoms=candidates,
+                        rejected_atoms=sorted(rejections[loop_index].items()),
                         ground_truth_implied=implied,
                     )
                 )
@@ -234,14 +309,26 @@ class InferenceEngine:
                 # No ground truth: stop when the checker validates the
                 # conjunction (and something was learned).
                 posts = [s.cond for s in program.asserts]
-                report = self._checker.check_invariant(
-                    n_loops - 1, result.loops[-1].invariant, posts
-                )
+                with timed_stage(timings, "check"):
+                    report = self._checker.check_invariant(
+                        n_loops - 1, result.loops[-1].invariant, posts
+                    )
                 if (
                     report.outcome is CheckOutcome.VALID
                     and result.loops[-1].sound_atoms
                 ):
                     solved = True
+            for stage in STAGES:
+                totals[stage] += timings[stage]
+                self._emit(
+                    StageTimed(
+                        problem=problem.name,
+                        solver=self.SOLVER_NAME,
+                        stage=stage,
+                        seconds=timings[stage],
+                        attempt=attempt,
+                    )
+                )
             if solved:
                 scheduler.stop()
 
@@ -249,6 +336,7 @@ class InferenceEngine:
         result.attempts = scheduler.attempts_made
         result.runtime_seconds = time.perf_counter() - start
         result.cache_stats = self.cache.stats.to_dict()
+        result.stage_timings = totals
         return result
 
 
@@ -304,5 +392,31 @@ def infer_invariants(
     config: InferenceConfig | None = None,
     cache: TraceCache | None = None,
 ) -> InferenceResult:
-    """Convenience wrapper: run the engine once for ``problem``."""
-    return InferenceEngine(problem, config, cache=cache).run()
+    """Run the G-CLN solver once for ``problem``.
+
+    .. deprecated::
+        Use :class:`repro.api.InvariantService` (or
+        ``repro.api.get_solver("gcln")``) instead; this wrapper now
+        delegates to the service and returns the underlying
+        :class:`InferenceResult` for backward compatibility.
+    """
+    warnings.warn(
+        "infer_invariants() is deprecated; use "
+        "repro.api.InvariantService().solve(problem) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api.adapters import GCLNSolver
+    from repro.api.service import InvariantService
+    from repro.api.solver import solver_entries
+
+    entries = {e.name: e for e in solver_entries()}
+    if entries.get("gcln") is None or entries["gcln"].factory is not GCLNSolver:
+        # The "gcln" registration was replaced with a strategy that may
+        # not carry a native InferenceResult; legacy callers need the
+        # real engine output, so run it directly (once).
+        return InferenceEngine(problem, config, cache=cache).run()
+    service = InvariantService(config=config, cache=cache)
+    result = service.solve(problem, solver="gcln")
+    assert isinstance(result.raw, InferenceResult)  # stock adapter sets raw
+    return result.raw

@@ -4,10 +4,12 @@
 ``concurrent.futures`` process pool (``jobs`` workers; ``jobs=1`` runs
 inline in-process), enforcing an optional per-problem wall-clock
 timeout and collecting one structured :class:`ProblemRecord` per
-problem, in input order.  Records wrap
-:class:`~repro.infer.pipeline.InferenceResult` and serialize to JSON
-via :meth:`ProblemRecord.to_dict`, so benchmark tables and the
-``python -m repro run-all`` CLI share one result format.
+problem, in input order.  Work dispatches through the solver registry
+(:func:`repro.api.get_solver`): pass ``solver="guess_and_check"`` (or
+any registered name) to batch-run a baseline under the exact same
+record schema as the G-CLN, so benchmark tables, the ``python -m repro
+run-all`` CLI, and solver comparisons share one result format
+(:class:`~repro.api.solver.SolveResult` inside each record).
 
 Timeouts are enforced *inside* the worker with ``SIGALRM`` (POSIX), so
 a timed-out problem frees its pool slot immediately instead of
@@ -24,9 +26,14 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from repro.api.solver import SolveResult, get_solver
 from repro.infer.config import InferenceConfig
-from repro.infer.pipeline import InferenceResult, infer_invariants
 from repro.infer.problem import Problem
+
+# A pluggable solve step: (problem, config) -> SolveResult.  The
+# default goes through the solver registry; InvariantService passes a
+# closure here so inline runs share its cache and event bus.
+SolveFn = Callable[[Problem, InferenceConfig | None], SolveResult]
 
 # Record statuses.
 STATUS_OK = "ok"
@@ -42,14 +49,16 @@ class ProblemRecord:
         name: problem name.
         status: ``"ok"``, ``"timeout"``, or ``"error"``.
         runtime_seconds: wall-clock time spent on the problem.
-        result: the inference result when ``status == "ok"``.
+        result: the solver's result when ``status == "ok"``; the same
+            :class:`~repro.api.solver.SolveResult` schema regardless
+            of which registered solver ran.
         error: error description for ``"timeout"`` / ``"error"``.
     """
 
     name: str
     status: str
     runtime_seconds: float = 0.0
-    result: InferenceResult | None = None
+    result: SolveResult | None = None
     error: str | None = None
 
     @property
@@ -71,15 +80,25 @@ class _Timeout(Exception):
     """Internal: the per-problem alarm fired."""
 
 
+def _solve_via_registry(
+    solver: str, problem: Problem, config: InferenceConfig | None
+) -> SolveResult:
+    """Default solve step: instantiate the named solver and run it."""
+    return get_solver(solver).solve(problem, config=config)
+
+
 def _run_one(
     problem: Problem,
     config: InferenceConfig | None,
     timeout_seconds: float | None,
+    solver: str = "gcln",
+    solve_fn: SolveFn | None = None,
 ) -> ProblemRecord:
     """Run one problem with an optional SIGALRM-enforced timeout.
 
     This is the unit of work shipped to pool workers; it must stay a
-    module-level function so it pickles.
+    module-level function so it pickles (``solve_fn`` closures are
+    inline-only — pool workers always dispatch via ``solver`` name).
     """
     start = time.perf_counter()
     use_alarm = timeout_seconds is not None and hasattr(signal, "SIGALRM")
@@ -107,7 +126,10 @@ def _run_one(
         # of the inner handlers, so _Timeout can never escape into the
         # caller's batch loop.
         try:
-            result = infer_invariants(problem, config)
+            if solve_fn is not None:
+                result = solve_fn(problem, config)
+            else:
+                result = _solve_via_registry(solver, problem, config)
             _disarm()
             return ProblemRecord(
                 name=problem.name,
@@ -149,8 +171,10 @@ def run_many(
     jobs: int = 1,
     timeout_seconds: float | None = None,
     progress: Callable[[ProblemRecord], None] | None = None,
+    solver: str = "gcln",
+    solve_fn: SolveFn | None = None,
 ) -> list[ProblemRecord]:
-    """Run inference on every problem, optionally in parallel.
+    """Run a registered solver on every problem, optionally in parallel.
 
     Args:
         problems: the problems to run.
@@ -159,6 +183,16 @@ def run_many(
         timeout_seconds: per-problem wall-clock budget.
         progress: called with each record as it completes (completion
             order, which differs from input order when ``jobs > 1``).
+        solver: registry name of the strategy to run; unknown names
+            raise :class:`~repro.api.solver.UnknownSolverError` up
+            front, before any work starts.  With ``jobs > 1`` each
+            worker rebuilds the registry from module imports, so a
+            custom solver must be registered at import time of a module
+            the workers import (e.g. in your package, not inline in a
+            script) to be visible under spawn/forkserver start methods.
+        solve_fn: inline-only override of the solve step (used by
+            :class:`~repro.api.service.InvariantService` to share its
+            cache/event bus); requires ``jobs == 1``.
 
     Returns:
         One record per problem, in input order, regardless of
@@ -170,13 +204,17 @@ def run_many(
         raise ValueError(
             f"timeout_seconds must be positive, got {timeout_seconds}"
         )
+    if solve_fn is not None and jobs != 1:
+        raise ValueError("solve_fn requires jobs == 1 (it does not pickle)")
+    if solve_fn is None:
+        get_solver(solver)  # fail fast on unknown names
     if not problems:
         return []
 
     if jobs == 1:
         records = []
         for problem in problems:
-            record = _run_one(problem, config, timeout_seconds)
+            record = _run_one(problem, config, timeout_seconds, solver, solve_fn)
             if progress is not None:
                 progress(record)
             records.append(record)
@@ -185,7 +223,9 @@ def run_many(
     records_by_index: dict[int, ProblemRecord] = {}
     with ProcessPoolExecutor(max_workers=min(jobs, len(problems))) as pool:
         futures = {
-            pool.submit(_run_one, problem, config, timeout_seconds): index
+            pool.submit(
+                _run_one, problem, config, timeout_seconds, solver
+            ): index
             for index, problem in enumerate(problems)
         }
         pending = set(futures)

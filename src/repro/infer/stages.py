@@ -145,6 +145,30 @@ def collect_states(
     return cache.memoize("trace", ("states", dataset_key), compute)
 
 
+def integer_external_states(
+    states: list[dict], externals: list
+) -> list[dict]:
+    """States where every external-function argument is an integer.
+
+    External terms (e.g. ``gcd(a, b)``, §5.3) are only defined on
+    integer arguments; fractional-sampling states that give an argument
+    a non-integer value are dropped before term evaluation.  Shared by
+    the engine's matrix stage and the baseline solver adapters so both
+    apply exactly the same filter.
+    """
+    if not externals:
+        return states
+    return [
+        s
+        for s in states
+        if all(
+            getattr(s.get(a), "denominator", 1) == 1
+            for ext in externals
+            for a in ext.args
+        )
+    ]
+
+
 def build_matrix(
     problem: Problem,
     config: InferenceConfig,
@@ -188,18 +212,7 @@ def _build_matrix_uncached(
     basis = build_term_basis(
         variables, problem.max_degree, externals=problem.externals
     )
-    usable_states = states
-    if problem.externals:
-        usable_states = [
-            s
-            for s in states
-            if all(
-                not hasattr(s.get(a), "denominator")
-                or getattr(s.get(a), "denominator", 1) == 1
-                for ext in problem.externals
-                for a in ext.args
-            )
-        ]
+    usable_states = integer_external_states(states, problem.externals)
     raw = evaluate_terms(usable_states, basis)
 
     # Duplicate columns (``r`` identical to ``A`` throughout) and

@@ -52,12 +52,19 @@ def fingerprint_inputs(inputs: Iterable[Mapping[str, object]]) -> str:
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters, split by cached stage."""
+    """Hit/miss counters, split by cached stage, plus LRU evictions.
+
+    ``evictions`` counts entries dropped by the LRU bound — the signal
+    that a long-lived service process is cycling its cache rather than
+    growing without bound (and, if it climbs fast, that ``max_entries``
+    is too small for the working set).
+    """
 
     trace_hits: int = 0
     trace_misses: int = 0
     matrix_hits: int = 0
     matrix_misses: int = 0
+    evictions: int = 0
 
     @property
     def hits(self) -> int:
@@ -73,6 +80,7 @@ class CacheStats:
             "trace_misses": self.trace_misses,
             "matrix_hits": self.matrix_hits,
             "matrix_misses": self.matrix_misses,
+            "evictions": self.evictions,
         }
 
 
@@ -108,6 +116,7 @@ class TraceCache:
         self._entries[key] = value
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
+            self.stats.evictions += 1
 
     def memoize(
         self,

@@ -101,11 +101,15 @@ def test_lru_eviction_bounds_entries():
     program = parse_program(TINY_SOURCE)
     cache.traces(program, [{"n": 1}])
     cache.traces(program, [{"n": 2}])
+    assert cache.stats.evictions == 0
     cache.traces(program, [{"n": 3}])  # evicts the n=1 entry
     assert len(cache) == 2
+    assert cache.stats.evictions == 1
     cache.traces(program, [{"n": 1}])
     assert cache.stats.trace_hits == 0
     assert cache.stats.trace_misses == 4
+    assert cache.stats.evictions == 2
+    assert cache.stats.to_dict()["evictions"] == 2
 
 
 def test_collect_states_and_build_matrix_memoize():

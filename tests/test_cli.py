@@ -52,6 +52,54 @@ def test_run_command(capsys):
     assert code in (0, 1)
 
 
+def test_solvers_command(capsys):
+    assert main(["solvers"]) == 0
+    out = capsys.readouterr().out
+    for name in ("gcln", "guess_and_check", "octahedral", "numinv"):
+        assert name in out
+
+
+def test_run_rejects_unknown_solver(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["run", "ps2", "--solver", "nosuch"])
+    # The error names the typo and lists the registered solvers.
+    message = str(excinfo.value)
+    assert "nosuch" in message and "gcln" in message
+
+
+def test_run_all_rejects_unknown_solver():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["run-all", "--solver", "nosuch", "--problems", "ps2"])
+    assert "nosuch" in str(excinfo.value)
+
+
+def test_run_baseline_solver_with_events(capsys, tmp_path):
+    """A registered baseline runs through the CLI and streams events."""
+    import json
+
+    out_path = tmp_path / "result.json"
+    code = main(
+        [
+            "run",
+            "ps2",
+            "--solver",
+            "numinv",
+            "--events",
+            "--json",
+            str(out_path),
+        ]
+    )
+    assert code == 0  # numinv solves ps2 (equalities + octahedral bound)
+    out = capsys.readouterr().out
+    assert "solver:   numinv" in out
+    assert "[event] stage_timed" in out
+    assert "[event] problem_solved" in out
+    payload = json.loads(out_path.read_text())
+    assert payload["solver"] == "numinv"
+    assert payload["solved"] is True
+    assert set(payload["stage_timings"]) == {"collect", "train", "extract", "check"}
+
+
 def test_run_all_rejects_unknown_suite():
     with pytest.raises(SystemExit):
         main(["run-all", "--suite", "nosuch"])

@@ -33,7 +33,7 @@ def test_lex_error_carries_position():
 def test_public_api_exports():
     for name in repro.__all__:
         assert hasattr(repro, name), name
-    assert repro.__version__ == "1.0.0"
+    assert repro.__version__ == "1.1.0"
 
 
 def test_api_quickstart_types():

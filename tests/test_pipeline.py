@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.infer import InferenceConfig, Problem, infer_invariants
+from repro.infer import InferenceConfig, InferenceEngine, Problem
 from repro.infer.pipeline import _ground_truth_implied, _reduce_redundant
 from repro.infer.problem import parse_ground_truth
 from repro.smt.formula import Atom
@@ -60,9 +60,12 @@ assert (2 * x == y * y + y);
         ground_truth={0: ["2 * x == y * y + y"]},
     )
     config = InferenceConfig(max_epochs=2000, dropout_schedule=(0.6, 0.7, 0.5))
-    result = infer_invariants(problem, config)
+    result = InferenceEngine(problem, config).run()
     assert result.solved
     assert result.loops[0].ground_truth_implied
+    # Per-stage profiling rides along with every run.
+    assert result.stage_timings["train"] > 0
+    assert result.stage_timings["check"] > 0
 
 
 @pytest.mark.slow
@@ -86,7 +89,7 @@ while (y < k) { y = y + 1; x = x + y * y; }
         max_epochs=600,
         dropout_schedule=(0.6,),
     )
-    result = infer_invariants(problem, config)
+    result = InferenceEngine(problem, config).run()
     # Raw high-magnitude terms destabilize training; the run must not
     # crash, and (matching Table 3) typically fails to solve.
     assert result.attempts == 1
@@ -101,7 +104,7 @@ def test_pipeline_rejects_loopless_program():
     from repro.errors import InferenceError
 
     with pytest.raises(InferenceError):
-        infer_invariants(problem)
+        InferenceEngine(problem).run()
 
 
 def test_problem_helpers():

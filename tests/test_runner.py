@@ -65,10 +65,10 @@ def test_run_many_records_errors_without_aborting_batch():
 def test_run_many_honors_timeout(monkeypatch):
     """A problem exceeding the budget is recorded as a timeout."""
 
-    def slow_infer(problem, config):
+    def slow_solve(solver, problem, config):
         time.sleep(30)
 
-    monkeypatch.setattr(runner_module, "infer_invariants", slow_infer)
+    monkeypatch.setattr(runner_module, "_solve_via_registry", slow_solve)
     start = time.perf_counter()
     records = run_many(
         [tiny_problem("slow"), tiny_problem("slow2")],
@@ -101,7 +101,37 @@ def test_records_serialize_to_json():
     assert decoded[0]["name"] == "json1"
     assert decoded[0]["status"] == STATUS_OK
     assert decoded[0]["result"]["problem"] == "json1"
+    assert decoded[0]["result"]["solver"] == "gcln"
     assert "cache_stats" in decoded[0]["result"]
+    assert "stage_timings" in decoded[0]["result"]
+
+
+def test_run_many_dispatches_registered_baselines():
+    """run_many(solver=...) runs a baseline under the same schema."""
+    records = run_many(
+        [tiny_problem("viareg")], FAST_CONFIG, jobs=1, solver="guess_and_check"
+    )
+    assert records[0].status == STATUS_OK
+    assert records[0].solved
+    assert records[0].result.solver == "guess_and_check"
+    assert records[0].result.attempts == 1
+
+
+def test_run_many_rejects_unknown_solver_up_front():
+    from repro.api import UnknownSolverError
+
+    with pytest.raises(UnknownSolverError, match="gcln"):
+        run_many([tiny_problem("x")], FAST_CONFIG, solver="nosuch")
+
+
+def test_run_many_rejects_solve_fn_with_pool():
+    with pytest.raises(ValueError):
+        run_many(
+            [tiny_problem("x")],
+            FAST_CONFIG,
+            jobs=2,
+            solve_fn=lambda p, c: None,
+        )
 
 
 def test_run_many_rejects_bad_jobs():
