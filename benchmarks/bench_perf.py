@@ -1,0 +1,223 @@
+"""Performance microbenchmark: the perf trajectory of the training core.
+
+Measures three things and writes them to ``BENCH_PERF.json``:
+
+1. **units** — epochs/sec of ``train_units_independently`` on a bank of
+   structured PBQU units: the sequential per-unit reference loop vs the
+   batched (stacked matrix + fused kernels + tape) path.
+2. **gcln** — epochs/sec of ``train_gcln`` on an auto-built equality
+   model: the eager per-unit graph vs the vectorized taped path.
+3. **end_to_end** — wall-clock of full solves on a fixed problem set,
+   with every optimization disabled (eager training, no attempt
+   batching, no checker memoization) vs the defaults.
+
+Speedups are ratios measured in the same process on the same machine,
+so they are comparable across hosts; the absolute epochs/sec numbers
+are what ``check_perf.py`` gates CI regressions against.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf.py --out BENCH_PERF.json
+    PYTHONPATH=src python benchmarks/bench_perf.py --quick   # CI sizes
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from dataclasses import replace
+
+import numpy as np
+
+from repro.api import InvariantService
+from repro.bench import nla_problem
+from repro.cln.model import (
+    AtomicKind,
+    GCLN,
+    GCLNConfig,
+    structured_inequality_units,
+)
+from repro.cln.train import train_gcln, train_units_independently
+from repro.infer import InferenceConfig
+from repro.sampling import normalize_rows
+from repro.utils import format_table
+
+# Never early-stop inside the microbenchmarks: epochs/sec must divide
+# by a deterministic epoch count.
+_NO_EARLY_STOP = 10**9
+
+
+def _unit_bank_inputs(n_terms: int, samples: int, seed: int):
+    """Synthetic data + structured GE units, deterministic in ``seed``."""
+    rng = np.random.default_rng(seed)
+    data = normalize_rows(np.abs(rng.normal(size=(samples, n_terms))) + 0.5)
+    variables = [f"v{i}" for i in range(1, n_terms)]
+    term_vars = [frozenset()] + [frozenset([v]) for v in variables]
+    term_degs = [0] + [1] * (n_terms - 1)
+    return data, term_vars, term_degs, variables
+
+
+def bench_units(epochs: int, n_terms: int = 15, samples: int = 60) -> dict:
+    data, term_vars, term_degs, variables = _unit_bank_inputs(
+        n_terms, samples, seed=0
+    )
+    out: dict = {}
+    for label, batched in (("sequential", False), ("batched", True)):
+        config = GCLNConfig(max_epochs=epochs, vectorized=batched)
+        units = structured_inequality_units(
+            term_vars, term_degs, variables, config, np.random.default_rng(3)
+        )
+        model = GCLN(
+            n_terms, config, np.random.default_rng(3), units=units,
+            kind=AtomicKind.GE,
+        )
+        start = time.perf_counter()
+        result = train_units_independently(
+            model, data, max_epochs=epochs,
+            early_stop_patience=_NO_EARLY_STOP, batched=batched,
+        )
+        elapsed = time.perf_counter() - start
+        out[f"{label}_epochs_per_sec"] = result.epochs / elapsed
+        out["units"] = len(model.units_flat)
+    out["speedup"] = out["batched_epochs_per_sec"] / out["sequential_epochs_per_sec"]
+    return out
+
+
+def bench_gcln(epochs: int, n_terms: int = 15, samples: int = 60) -> dict:
+    rng = np.random.default_rng(0)
+    data = normalize_rows(np.abs(rng.normal(size=(samples, n_terms))) + 0.5)
+    out: dict = {}
+    for label, vectorized in (("eager", False), ("vectorized", True)):
+        config = GCLNConfig(
+            n_clauses=10, max_epochs=epochs, dropout_rate=0.5,
+            vectorized=vectorized,
+        )
+        model = GCLN(
+            n_terms, config, np.random.default_rng(7), protected_terms=[0]
+        )
+        start = time.perf_counter()
+        result = train_gcln(
+            model, data, max_epochs=epochs, early_stop_patience=_NO_EARLY_STOP
+        )
+        elapsed = time.perf_counter() - start
+        out[f"{label}_epochs_per_sec"] = result.epochs / elapsed
+        out["units"] = len(model.units_flat)
+    out["speedup"] = out["vectorized_epochs_per_sec"] / out["eager_epochs_per_sec"]
+    return out
+
+
+def bench_end_to_end(problems: list[str], epochs: int) -> dict:
+    """Full solves: all optimizations off vs the defaults."""
+    baseline_config = InferenceConfig(
+        max_epochs=epochs,
+        attempt_batch_size=1,
+        checker_memoization=False,
+        gcln=GCLNConfig(vectorized=False),
+    )
+    optimized_config = InferenceConfig(max_epochs=epochs)
+    per_problem: dict[str, dict] = {}
+    totals = {"baseline": 0.0, "optimized": 0.0}
+    for name in problems:
+        entry: dict = {}
+        for label, config in (
+            ("baseline", baseline_config),
+            ("optimized", optimized_config),
+        ):
+            service = InvariantService(config)
+            problem = nla_problem(name)
+            start = time.perf_counter()
+            result = service.solve(problem)
+            elapsed = time.perf_counter() - start
+            entry[f"{label}_seconds"] = elapsed
+            entry[f"{label}_solved"] = result.solved
+            totals[label] += elapsed
+        entry["speedup"] = entry["baseline_seconds"] / max(
+            entry["optimized_seconds"], 1e-9
+        )
+        per_problem[name] = entry
+    return {
+        "problems": problems,
+        "epochs": epochs,
+        "baseline_seconds": totals["baseline"],
+        "optimized_seconds": totals["optimized"],
+        "speedup": totals["baseline"] / max(totals["optimized"], 1e-9),
+        "per_problem": per_problem,
+    }
+
+
+def run(args: argparse.Namespace) -> dict:
+    unit_epochs = 120 if args.quick else 400
+    e2e_epochs = 200 if args.quick else 400
+    payload = {
+        "schema": 1,
+        "quick": args.quick,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "units": bench_units(unit_epochs),
+        "gcln": bench_gcln(unit_epochs),
+        "end_to_end": bench_end_to_end(args.problems, e2e_epochs),
+    }
+    return payload
+
+
+def report(payload: dict) -> str:
+    units, gcln, e2e = payload["units"], payload["gcln"], payload["end_to_end"]
+    rows = [
+        [
+            "units (train_units_independently)",
+            f"{units['sequential_epochs_per_sec']:.0f} ep/s",
+            f"{units['batched_epochs_per_sec']:.0f} ep/s",
+            f"{units['speedup']:.1f}x",
+        ],
+        [
+            "gcln (train_gcln)",
+            f"{gcln['eager_epochs_per_sec']:.0f} ep/s",
+            f"{gcln['vectorized_epochs_per_sec']:.0f} ep/s",
+            f"{gcln['speedup']:.1f}x",
+        ],
+        [
+            f"end-to-end ({', '.join(e2e['problems'])})",
+            f"{e2e['baseline_seconds']:.1f}s",
+            f"{e2e['optimized_seconds']:.1f}s",
+            f"{e2e['speedup']:.1f}x",
+        ],
+    ]
+    return format_table(
+        ["path", "baseline", "optimized", "speedup"],
+        rows,
+        title="bench_perf — vectorized training core",
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--problems",
+        nargs="+",
+        default=["ps2", "ps3"],
+        metavar="NAME",
+        help="fixed NLA problem set for the end-to-end comparison",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_PERF.json", metavar="PATH",
+        help="where to write the JSON record",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI sizes: fewer epochs, same structure",
+    )
+    args = parser.parse_args(argv)
+    payload = run(args)
+    print(report(payload))
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

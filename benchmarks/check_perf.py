@@ -1,0 +1,84 @@
+"""CI perf gate: compare a fresh BENCH_PERF.json against the baseline.
+
+Two kinds of checks:
+
+* **Relative speedups** (machine-independent): the batched units path
+  must stay >= 3x its sequential reference and the end-to-end solves
+  >= 2x the all-optimizations-off configuration — the acceptance
+  criteria of the vectorized-training-core change.
+* **Absolute regression** (against the checked-in baseline, with 2x
+  slack for host variance): epochs/sec on the batched paths must not
+  drop below half the recorded baseline.  Only applied when the two
+  records were produced at the same sizes (matching ``quick`` flags) —
+  epochs/sec at CI sizes is not comparable to a full-size baseline.
+
+Usage::
+
+    python benchmarks/check_perf.py BENCH_PERF.json benchmarks/bench_perf_baseline.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+MIN_UNITS_SPEEDUP = 3.0
+MIN_E2E_SPEEDUP = 2.0
+MAX_REGRESSION = 2.0  # current must be >= baseline / MAX_REGRESSION
+
+
+def check(current: dict, baseline: dict) -> list[str]:
+    failures: list[str] = []
+    units_speedup = current["units"]["speedup"]
+    if units_speedup < MIN_UNITS_SPEEDUP:
+        failures.append(
+            f"units speedup {units_speedup:.2f}x < required {MIN_UNITS_SPEEDUP}x"
+        )
+    e2e_speedup = current["end_to_end"]["speedup"]
+    if e2e_speedup < MIN_E2E_SPEEDUP:
+        failures.append(
+            f"end-to-end speedup {e2e_speedup:.2f}x < required {MIN_E2E_SPEEDUP}x"
+        )
+    if current.get("quick") != baseline.get("quick"):
+        print(
+            "note: size mismatch (quick flags differ); skipping the "
+            "absolute epochs/sec comparison, relative speedups still gate"
+        )
+        return failures
+    for section, metric in (
+        ("units", "batched_epochs_per_sec"),
+        ("gcln", "vectorized_epochs_per_sec"),
+    ):
+        base = baseline[section][metric]
+        cur = current[section][metric]
+        if cur < base / MAX_REGRESSION:
+            failures.append(
+                f"{section}.{metric} regressed >{MAX_REGRESSION}x: "
+                f"{cur:.0f} ep/s vs baseline {base:.0f} ep/s"
+            )
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print(__doc__)
+        return 2
+    with open(argv[1], encoding="utf-8") as handle:
+        current = json.load(handle)
+    with open(argv[2], encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    failures = check(current, baseline)
+    for failure in failures:
+        print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+    if not failures:
+        print(
+            "perf gate ok: "
+            f"units {current['units']['speedup']:.1f}x, "
+            f"gcln {current['gcln']['speedup']:.1f}x, "
+            f"end-to-end {current['end_to_end']['speedup']:.1f}x"
+        )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

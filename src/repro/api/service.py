@@ -58,6 +58,10 @@ class InvariantService:
             bounded to ``max_cache_entries``.
         max_cache_entries: LRU bound for the owned cache (ignored when
             ``cache`` is injected).
+        cache_dir: spill directory for the owned cache (ignored when
+            ``cache`` is injected): traces and term matrices persist
+            across processes keyed by content fingerprint, so reruns
+            skip interpretation entirely.
     """
 
     def __init__(
@@ -67,9 +71,12 @@ class InvariantService:
         solver_configs: Mapping[str, "InferenceConfig"] | None = None,
         cache: TraceCache | None = None,
         max_cache_entries: int = DEFAULT_CACHE_ENTRIES,
+        cache_dir: str | None = None,
     ):
         self.cache = (
-            cache if cache is not None else TraceCache(max_entries=max_cache_entries)
+            cache
+            if cache is not None
+            else TraceCache(max_entries=max_cache_entries, cache_dir=cache_dir)
         )
         self.bus = EventBus()
         self._default_config = config

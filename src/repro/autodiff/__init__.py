@@ -8,25 +8,34 @@ verified against central finite differences in the test suite.
 """
 
 from repro.autodiff.tensor import Tensor, no_grad
+from repro.autodiff.tape import Tape
 from repro.autodiff.functional import (
     concat,
     exp,
+    fused_gated_tconorm,
+    fused_gated_tnorm,
     gaussian,
     log,
     maximum,
     minimum,
+    pbqu,
     relu,
     sigmoid,
     sqrt,
     tanh,
     where,
 )
-from repro.autodiff.optim import SGD, Adam, clip_grad_norm
+from repro.autodiff.optim import SGD, Adam, clip_grad_norm, clip_grad_norm_groups
 from repro.autodiff.init import normal_init, uniform_init
 
 __all__ = [
     "Tensor",
+    "Tape",
     "no_grad",
+    "pbqu",
+    "fused_gated_tnorm",
+    "fused_gated_tconorm",
+    "clip_grad_norm_groups",
     "concat",
     "exp",
     "log",

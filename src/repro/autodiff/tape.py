@@ -1,0 +1,123 @@
+"""Graph taping: record a training step once, replay it every epoch.
+
+The G-CLN training loops build a structurally identical autodiff graph
+every epoch — only the numbers in the leaves (parameters, schedule
+scalars) change.  :class:`Tape` exploits that: the first call to
+:meth:`Tape.step` runs the builder under a recording hook that captures
+every gradient-tracked node in creation order (a valid topological
+order), then subsequent calls
+
+1. **replay forward**: run each node's in-place forward closure, which
+   recomputes ``node.data`` inside the same buffer from the parents'
+   current data, and
+2. **replay backward**: seed the root with 1 and fire the recorded
+   backward closures in reverse order, accumulating into preallocated
+   per-node gradient buffers.
+
+No graph nodes, topological sorts, or gradient arrays are allocated
+after the first epoch.  Values that change between epochs (λ schedules,
+the annealed σ/c1) must live in leaf tensors or 0-d numpy "boxes" that
+the loop updates *in place*; closures read them dynamically.
+
+If any recorded node lacks a forward closure (e.g. ``where`` with a
+precomputed condition, whose frozen mask would go stale), the tape
+falls back to eager re-tracing: ``step`` simply calls the builder and
+``backward`` every epoch.  Correctness never depends on replayability.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import AutodiffError
+from repro.autodiff import tensor as _tensor_mod
+from repro.autodiff.tensor import Tensor
+
+
+class Tape:
+    """Records one scalar-rooted graph and replays it with reused buffers."""
+
+    def __init__(self) -> None:
+        self._root: Tensor | None = None
+        self._nodes: list[Tensor] | None = None
+        self.replayable = False
+        self.replays = 0
+
+    @property
+    def recorded(self) -> bool:
+        return self._nodes is not None
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._nodes) if self._nodes is not None else 0
+
+    def step(self, build: Callable[[], Tensor]) -> Tensor:
+        """One training step: forward + backward, recording or replaying.
+
+        Args:
+            build: zero-argument closure constructing the scalar loss
+                graph from leaf tensors.  Called once to record (and on
+                every step if the graph is not replayable).
+
+        Returns:
+            The root (loss) tensor with gradients accumulated into the
+            graph's leaves.
+        """
+        if self._nodes is None:
+            root = self._record(build)
+            root.backward()
+            return root
+        if not self.replayable:
+            root = build()
+            root.backward()
+            return root
+        self._replay_forward()
+        self._replay_backward()
+        self.replays += 1
+        return self._root  # type: ignore[return-value]
+
+    # -- internals ---------------------------------------------------------
+
+    def _record(self, build: Callable[[], Tensor]) -> Tensor:
+        if _tensor_mod._TAPE_SINK is not None:
+            raise AutodiffError("nested Tape recording is not supported")
+        nodes: list[Tensor] = []
+        _tensor_mod._TAPE_SINK = nodes
+        try:
+            root = build()
+        finally:
+            _tensor_mod._TAPE_SINK = None
+        if root.data.size != 1:
+            raise AutodiffError(
+                f"Tape.step requires a scalar root, got shape {root.data.shape}"
+            )
+        self._root = root
+        self._nodes = nodes
+        self.replayable = root.requires_grad and all(
+            node._forward_fn is not None for node in nodes
+        )
+        return root
+
+    def _replay_forward(self) -> None:
+        for node in self._nodes:  # type: ignore[union-attr]
+            node._forward_fn()  # type: ignore[misc]
+
+    def _replay_backward(self) -> None:
+        nodes = self._nodes  # type: ignore[assignment]
+        for node in nodes:  # type: ignore[union-attr]
+            buf = node._grad_buf
+            if buf is None:
+                buf = node._grad_buf = np.zeros_like(node.data)
+            else:
+                buf.fill(0.0)
+            node.grad = buf
+        root = self._root
+        root.grad[...] = 1.0  # type: ignore[union-attr, index]
+        for node in reversed(nodes):  # type: ignore[arg-type]
+            if node.grad is None:
+                continue
+            grad = node.grad
+            node.grad = None
+            node._backward_fn(grad)  # type: ignore[misc]

@@ -4,6 +4,16 @@ Each operation records its parents and a backward closure; calling
 :meth:`Tensor.backward` on a scalar runs the closures in reverse
 topological order.  Broadcasting is handled by summing gradients over
 broadcast dimensions (``_unbroadcast``).
+
+Ops additionally record a *forward* closure that recomputes the node's
+value **in place** (into the same ``.data`` buffer) from its parents'
+current data.  The :class:`~repro.autodiff.tape.Tape` uses these to
+replay an identically-structured graph epoch after epoch without
+rebuilding any nodes: training loops become a handful of large numpy
+calls instead of thousands of graph-node allocations.  Ops whose
+backward closure froze data-dependent state at build time (``where``
+with a precomputed condition) simply do not provide a forward closure,
+which makes any graph containing them fall back to eager re-tracing.
 """
 
 from __future__ import annotations
@@ -16,6 +26,11 @@ import numpy as np
 from repro.errors import AutodiffError
 
 _GRAD_ENABLED = True
+
+# When non-None, Tensor._result appends every gradient-tracked node it
+# creates (in creation order, which is a valid topological order) to
+# this list.  The Tape installs it while recording.
+_TAPE_SINK: list["Tensor"] | None = None
 
 
 @contextlib.contextmanager
@@ -45,10 +60,54 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
+def exclusive_prod(x: np.ndarray, axis: int) -> np.ndarray:
+    """Per-entry product of all *other* entries along ``axis``.
+
+    Robust to zeros: uses shifted cumulative products from both ends
+    instead of dividing the total product by each entry.
+    """
+    ones = np.ones_like(x)
+    left = np.cumprod(
+        np.concatenate(
+            [np.take(ones, [0], axis=axis), np.delete(x, -1, axis=axis)],
+            axis=axis,
+        ),
+        axis=axis,
+    )
+    rev = np.flip(x, axis=axis)
+    right_rev = np.cumprod(
+        np.concatenate(
+            [np.take(ones, [0], axis=axis), np.delete(rev, -1, axis=axis)],
+            axis=axis,
+        ),
+        axis=axis,
+    )
+    right = np.flip(right_rev, axis=axis)
+    return left * right
+
+
+def _arr(x) -> np.ndarray:
+    """Materialize an op result as a float64 ndarray.
+
+    Numpy reductions and 0-d arithmetic return numpy *scalars*; forward
+    closures must capture the same writable buffer the Tensor will hold,
+    so every op coerces before building its closures.
+    """
+    return np.asarray(x, dtype=np.float64)
+
+
 class Tensor:
     """A numpy-backed tensor with optional gradient tracking."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn")
+    __slots__ = (
+        "data",
+        "grad",
+        "requires_grad",
+        "_parents",
+        "_backward_fn",
+        "_forward_fn",
+        "_grad_buf",
+    )
 
     # Make numpy defer to Tensor's reflected operators: without this,
     # ``np.float64(2) * tensor`` would broadcast elementwise into an
@@ -61,6 +120,8 @@ class Tensor:
         self.grad: np.ndarray | None = None
         self._parents: tuple[Tensor, ...] = ()
         self._backward_fn: Callable[[np.ndarray], None] | None = None
+        self._forward_fn: Callable[[], None] | None = None
+        self._grad_buf: np.ndarray | None = None
 
     # -- graph construction -------------------------------------------------
 
@@ -69,6 +130,7 @@ class Tensor:
         data: np.ndarray,
         parents: Iterable["Tensor"],
         backward_fn: Callable[[np.ndarray], None],
+        forward_fn: Callable[[], None] | None = None,
     ) -> "Tensor":
         parents = tuple(parents)
         track = _GRAD_ENABLED and any(p.requires_grad for p in parents)
@@ -77,6 +139,9 @@ class Tensor:
         if track:
             out._parents = parents
             out._backward_fn = backward_fn
+            out._forward_fn = forward_fn
+            if _TAPE_SINK is not None:
+                _TAPE_SINK.append(out)
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
@@ -175,56 +240,73 @@ class Tensor:
 
     def __add__(self, other) -> "Tensor":
         other = self._coerce(other)
-        data = self.data + other.data
+        data = _arr(self.data + other.data)
+
+        def forward() -> None:
+            np.add(self.data, other.data, out=data)
 
         def backward(grad: np.ndarray) -> None:
             self._push(grad)
             other._push(grad)
 
-        return Tensor._result(data, (self, other), backward)
+        return Tensor._result(data, (self, other), backward, forward)
 
     __radd__ = __add__
 
     def __neg__(self) -> "Tensor":
+        data = _arr(-self.data)
+
+        def forward() -> None:
+            np.negative(self.data, out=data)
+
         def backward(grad: np.ndarray) -> None:
             self._push(-grad)
 
-        return Tensor._result(-self.data, (self,), backward)
+        return Tensor._result(data, (self,), backward, forward)
 
     def __sub__(self, other) -> "Tensor":
         other = self._coerce(other)
-        data = self.data - other.data
+        data = _arr(self.data - other.data)
+
+        def forward() -> None:
+            np.subtract(self.data, other.data, out=data)
 
         def backward(grad: np.ndarray) -> None:
             self._push(grad)
             other._push(-grad)
 
-        return Tensor._result(data, (self, other), backward)
+        return Tensor._result(data, (self, other), backward, forward)
 
     def __rsub__(self, other) -> "Tensor":
         return self._coerce(other) - self
 
     def __mul__(self, other) -> "Tensor":
         other = self._coerce(other)
-        data = self.data * other.data
+        data = _arr(self.data * other.data)
+
+        def forward() -> None:
+            np.multiply(self.data, other.data, out=data)
 
         def backward(grad: np.ndarray) -> None:
             self._push(grad * other.data)
             other._push(grad * self.data)
 
-        return Tensor._result(data, (self, other), backward)
+        return Tensor._result(data, (self, other), backward, forward)
 
     __rmul__ = __mul__
 
     def __truediv__(self, other) -> "Tensor":
         other = self._coerce(other)
-        data = self.data / other.data
+        data = _arr(self.data / other.data)
+
+        def forward() -> None:
+            np.divide(self.data, other.data, out=data)
 
         def backward(grad: np.ndarray) -> None:
             self._push(grad / other.data)
             other._push(-grad * self.data / (other.data**2))
 
-        return Tensor._result(data, (self, other), backward)
+        return Tensor._result(data, (self, other), backward, forward)
 
     def __rtruediv__(self, other) -> "Tensor":
         return self._coerce(other) / self
@@ -232,16 +314,25 @@ class Tensor:
     def __pow__(self, exponent: float) -> "Tensor":
         if not isinstance(exponent, (int, float)):
             raise AutodiffError("tensor ** tensor is not supported; use exp/log")
-        data = self.data**exponent
+        data = _arr(self.data**exponent)
+
+        def forward() -> None:
+            np.power(self.data, exponent, out=data)
 
         def backward(grad: np.ndarray) -> None:
             self._push(grad * exponent * self.data ** (exponent - 1))
 
-        return Tensor._result(data, (self,), backward)
+        return Tensor._result(data, (self,), backward, forward)
 
     def __matmul__(self, other) -> "Tensor":
         other = self._coerce(other)
-        data = self.data @ other.data
+        data = _arr(self.data @ other.data)
+
+        def forward() -> None:
+            if data.ndim:
+                np.matmul(self.data, other.data, out=data)
+            else:
+                data[...] = self.data @ other.data
 
         def backward(grad: np.ndarray) -> None:
             grad = np.asarray(grad, dtype=np.float64)
@@ -259,16 +350,19 @@ class Tensor:
                 self._push(grad @ b.T)
                 other._push(a.T @ grad)
 
-        return Tensor._result(data, (self, other), backward)
+        return Tensor._result(data, (self, other), backward, forward)
 
     def abs(self) -> "Tensor":
         """Elementwise absolute value (gradient 0 chosen at 0)."""
-        data = np.abs(self.data)
+        data = _arr(np.abs(self.data))
+
+        def forward() -> None:
+            np.abs(self.data, out=data)
 
         def backward(grad: np.ndarray) -> None:
             self._push(grad * np.sign(self.data))
 
-        return Tensor._result(data, (self,), backward)
+        return Tensor._result(data, (self,), backward, forward)
 
     def __abs__(self) -> "Tensor":
         return self.abs()
@@ -276,7 +370,10 @@ class Tensor:
     # -- reductions & reshaping ------------------------------------------------
 
     def sum(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
-        data = self.data.sum(axis=axis, keepdims=keepdims)
+        data = _arr(self.data.sum(axis=axis, keepdims=keepdims))
+
+        def forward() -> None:
+            np.sum(self.data, axis=axis, keepdims=keepdims, out=data)
 
         def backward(grad: np.ndarray) -> None:
             g = np.asarray(grad, dtype=np.float64)
@@ -284,7 +381,7 @@ class Tensor:
                 g = np.expand_dims(g, axis=axis)
             self._push(np.broadcast_to(g, self.data.shape))
 
-        return Tensor._result(data, (self,), backward)
+        return Tensor._result(data, (self,), backward, forward)
 
     def mean(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
         count = self.data.size if axis is None else self.data.shape[axis]
@@ -298,7 +395,10 @@ class Tensor:
         other entries along the axis (exclusive product), so the result
         is correct even with zeros.
         """
-        data = self.data.prod(axis=axis, keepdims=keepdims)
+        data = _arr(self.data.prod(axis=axis, keepdims=keepdims))
+
+        def forward() -> None:
+            np.prod(self.data, axis=axis, keepdims=keepdims, out=data)
 
         def backward(grad: np.ndarray) -> None:
             g = np.asarray(grad, dtype=np.float64)
@@ -310,54 +410,51 @@ class Tensor:
                 total = x.prod(axis=axis, keepdims=True)
                 self._push(g * total / x)
             else:
-                # Exclusive product via shifted cumulative products.
-                ones = np.ones_like(x)
-                left = np.cumprod(
-                    np.concatenate(
-                        [np.take(ones, [0], axis=axis), np.delete(x, -1, axis=axis)],
-                        axis=axis,
-                    ),
-                    axis=axis,
-                )
-                rev = np.flip(x, axis=axis)
-                right_rev = np.cumprod(
-                    np.concatenate(
-                        [np.take(ones, [0], axis=axis), np.delete(rev, -1, axis=axis)],
-                        axis=axis,
-                    ),
-                    axis=axis,
-                )
-                right = np.flip(right_rev, axis=axis)
-                self._push(g * left * right)
+                self._push(g * exclusive_prod(x, axis))
 
-        return Tensor._result(data, (self,), backward)
+        return Tensor._result(data, (self,), backward, forward)
 
     def reshape(self, *shape: int) -> "Tensor":
         data = self.data.reshape(*shape)
+        is_view = np.shares_memory(data, self.data)
+
+        def forward() -> None:
+            if not is_view:
+                data[...] = self.data.reshape(*shape)
 
         def backward(grad: np.ndarray) -> None:
             self._push(np.asarray(grad).reshape(self.data.shape))
 
-        return Tensor._result(data, (self,), backward)
+        return Tensor._result(data, (self,), backward, forward)
 
     @property
     def T(self) -> "Tensor":
         data = self.data.T
+        is_view = np.shares_memory(data, self.data)
+
+        def forward() -> None:
+            if not is_view:
+                data[...] = self.data.T
 
         def backward(grad: np.ndarray) -> None:
             self._push(np.asarray(grad).T)
 
-        return Tensor._result(data, (self,), backward)
+        return Tensor._result(data, (self,), backward, forward)
 
     def __getitem__(self, index) -> "Tensor":
         data = self.data[index]
+        is_view = np.shares_memory(data, self.data)
+
+        def forward() -> None:
+            if not is_view:
+                data[...] = self.data[index]
 
         def backward(grad: np.ndarray) -> None:
             full = np.zeros_like(self.data)
             np.add.at(full, index, np.asarray(grad, dtype=np.float64))
             self._push(full)
 
-        return Tensor._result(data, (self,), backward)
+        return Tensor._result(data, (self,), backward, forward)
 
     # -- gradient plumbing -------------------------------------------------------
 

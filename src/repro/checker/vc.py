@@ -61,6 +61,7 @@ class InvariantChecker:
         rng: np.random.Generator | None = None,
         fuel: int = 500_000,
         trace_cache: "TraceCache | None" = None,
+        memoize: bool = True,
     ):
         """
         Args:
@@ -74,6 +75,15 @@ class InvariantChecker:
                 TraceCache`; when given, checking traces are memoized
                 there and reused across checker instances for the same
                 (program, inputs).
+            memoize: cache per-atom verdicts across
+                :meth:`filter_sound_atoms` calls.  The CEGIS retry loop
+                re-submits its whole (growing) candidate pool every
+                attempt; memoization makes re-checks of unchanged atoms
+                free.  Reachability verdicts are absolute; inductiveness
+                verdicts are reused monotonically — VALID under premise
+                set P is reused for any premise ⊇ P (more assumptions
+                only shrink the states tested), INVALID under P for any
+                premise ⊆ P (the counterexample still satisfies it).
         """
         self.program = program
         self.bounded = BoundedChecker(
@@ -84,6 +94,13 @@ class InvariantChecker:
         self._fuel = fuel
         self._trace_cache = trace_cache
         self._paths_cache: dict[int, object] = {}
+        self.memoize = memoize
+        self._reach_memo: dict[tuple[int, str], CheckOutcome] = {}
+        self._inductive_memo: dict[
+            tuple[int, str], list[tuple[frozenset[str], bool]]
+        ] = {}
+        # Observability: how many bounded checks the memo skipped.
+        self.memo_hits = 0
 
     @property
     def traces(self) -> list[ExecutionTrace]:
@@ -137,12 +154,19 @@ class InvariantChecker:
         loop = self._loop(loop_index)
         head_states = self._loop_states(loop_index, include_exit=True)
 
-        # Phase 1: reachability soundness.
+        # Phase 1: reachability soundness (absolute per atom; memoized).
         surviving: list[Atom] = []
         for atom in atoms:
-            outcome, cex = self.bounded.holds_on_reachable(
-                atom, loop_index, self.traces
-            )
+            memo_key = (loop_index, str(atom))
+            if self.memoize and memo_key in self._reach_memo:
+                outcome, cex = self._reach_memo[memo_key], None
+                self.memo_hits += 1
+            else:
+                outcome, cex = self.bounded.holds_on_reachable(
+                    atom, loop_index, self.traces
+                )
+                if self.memoize:
+                    self._reach_memo[memo_key] = outcome
             if outcome is CheckOutcome.INVALID:
                 result.rejected.append((atom, "fails on reachable state"))
                 if cex:
@@ -159,8 +183,18 @@ class InvariantChecker:
                 And(surviving) if len(surviving) > 1 else surviving[0]
             )
             eq_polys = [a.poly for a in surviving if a.op == "=="]
+            premise = frozenset(str(a) for a in surviving)
             keep: list[Atom] = []
             for atom in surviving:
+                cached = self._inductive_cached(loop_index, atom, premise)
+                if cached is not None:
+                    self.memo_hits += 1
+                    if cached:
+                        keep.append(atom)
+                    else:
+                        result.rejected.append((atom, "not inductive"))
+                        changed = True
+                    continue
                 verdict = CheckOutcome.UNKNOWN
                 if atom.op == "==" and paths is not None:
                     verdict = equality_inductive_symbolic(atom.poly, eq_polys, paths)
@@ -169,15 +203,41 @@ class InvariantChecker:
                         conjunction, loop, atom, head_states
                     )
                     if verdict is CheckOutcome.INVALID:
+                        self._inductive_record(loop_index, atom, premise, False)
                         result.rejected.append((atom, "not inductive"))
                         if cex:
                             result.counterexamples.append(cex)
                         changed = True
                         continue
+                self._inductive_record(loop_index, atom, premise, True)
                 keep.append(atom)
             surviving = keep
         result.sound = surviving
         return result
+
+    def _inductive_cached(
+        self, loop_index: int, atom: Atom, premise: frozenset[str]
+    ) -> bool | None:
+        """Reuse an inductiveness verdict if monotonicity allows it."""
+        if not self.memoize:
+            return None
+        for cached_premise, valid in self._inductive_memo.get(
+            (loop_index, str(atom)), ()
+        ):
+            if valid and cached_premise <= premise:
+                return True
+            if not valid and premise <= cached_premise:
+                return False
+        return None
+
+    def _inductive_record(
+        self, loop_index: int, atom: Atom, premise: frozenset[str], valid: bool
+    ) -> None:
+        if not self.memoize:
+            return
+        self._inductive_memo.setdefault((loop_index, str(atom)), []).append(
+            (premise, valid)
+        )
 
     # -- full check -------------------------------------------------------------
 

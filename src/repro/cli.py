@@ -15,10 +15,16 @@ Commands:
   with ``--jobs N`` worker processes, per-problem ``--timeout``, and
   ``--json`` output.  Records share one schema across solvers, so two
   runs with different ``--solver`` values are directly comparable.
+* ``profile <nla-problem>`` — run one solver and render the per-stage
+  wall-clock breakdown (collect/train/extract/check) as a table, so hot
+  paths are visible without reading JSON.
 * ``solvers`` — list the registered solvers.
 * ``list`` — list the available benchmark problems with metadata.
 * ``trace <nla-problem> --inputs k=5`` — execute a benchmark program on
   one input assignment and dump the loop-head trace.
+
+``run``, ``run-all``, and ``profile`` accept ``--cache-dir PATH`` to
+persist traces/term matrices on disk across invocations.
 """
 
 from __future__ import annotations
@@ -86,9 +92,45 @@ def _cmd_solvers(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    problem = nla_problem(args.problem)
+    service = InvariantService(
+        InferenceConfig(max_epochs=args.epochs), cache_dir=args.cache_dir
+    )
+    try:
+        result = service.solve(problem, solver=args.solver)
+    except ReproError as exc:
+        raise SystemExit(str(exc)) from exc
+    timings = result.to_dict()["stage_timings"]
+    staged = sum(timings.values())
+    other = max(result.runtime_seconds - staged, 0.0)
+    total = max(result.runtime_seconds, 1e-9)
+    rows = [
+        [stage, f"{seconds:.3f}s", f"{100.0 * seconds / total:.1f}%"]
+        for stage, seconds in timings.items()
+    ]
+    rows.append(["(other)", f"{other:.3f}s", f"{100.0 * other / total:.1f}%"])
+    rows.append(["TOTAL", f"{result.runtime_seconds:.3f}s", "100.0%"])
+    print(
+        format_table(
+            ["stage", "seconds", "share"],
+            rows,
+            title=(
+                f"profile — {problem.name}, solver {args.solver}, "
+                f"solved={result.solved}, {result.attempts} attempt(s)"
+            ),
+        )
+    )
+    stats = ", ".join(f"{k}={v}" for k, v in service.cache_stats.items())
+    print(f"cache:    {stats}")
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     problem = nla_problem(args.problem)
-    service = InvariantService(InferenceConfig(max_epochs=args.epochs))
+    service = InvariantService(
+        InferenceConfig(max_epochs=args.epochs), cache_dir=args.cache_dir
+    )
     if args.events:
         service.subscribe(_print_event)
     try:
@@ -124,7 +166,9 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
         raise SystemExit(str(exc)) from exc
     if not problems:
         raise SystemExit(f"no problems selected from suite {args.suite!r}")
-    service = InvariantService(InferenceConfig(max_epochs=args.epochs))
+    service = InvariantService(
+        InferenceConfig(max_epochs=args.epochs), cache_dir=args.cache_dir
+    )
 
     def progress(record) -> None:
         detail = (
@@ -247,7 +291,33 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the structured result as JSON ('-' for stdout)",
     )
+    run_parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        help="persist traces/term matrices on disk across invocations",
+    )
     run_parser.set_defaults(func=_cmd_run)
+
+    profile_parser = sub.add_parser(
+        "profile",
+        help="run one solver and print the per-stage timing breakdown",
+    )
+    profile_parser.add_argument("problem", help="NLA problem name (see 'list')")
+    profile_parser.add_argument(
+        "--solver",
+        default="gcln",
+        metavar="NAME",
+        help="registered solver to profile (default: gcln)",
+    )
+    profile_parser.add_argument(
+        "--epochs", type=int, default=2000, help="training epochs per attempt"
+    )
+    profile_parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        help="persist traces/term matrices on disk across invocations",
+    )
+    profile_parser.set_defaults(func=_cmd_profile)
 
     all_parser = sub.add_parser(
         "run-all", help="run a whole suite through the batch runner"
@@ -284,6 +354,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         metavar="PATH",
         help="write all records as JSON ('-' for stdout)",
+    )
+    all_parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        help="persist traces/term matrices on disk across invocations",
     )
     all_parser.set_defaults(func=_cmd_run_all)
 

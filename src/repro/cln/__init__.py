@@ -26,7 +26,13 @@ from repro.cln.activations import (
     gaussian_equality_numpy,
 )
 from repro.cln.model import GCLN, GCLNConfig, AtomicKind
-from repro.cln.train import TrainResult, train_gcln
+from repro.cln.train import (
+    RestartOutcome,
+    TrainResult,
+    train_gcln,
+    train_gcln_restarts,
+    train_units_independently,
+)
 from repro.cln.extract import extract_formula, extract_equalities, extract_inequalities
 
 __all__ = [
@@ -48,7 +54,10 @@ __all__ = [
     "GCLNConfig",
     "AtomicKind",
     "TrainResult",
+    "RestartOutcome",
     "train_gcln",
+    "train_gcln_restarts",
+    "train_units_independently",
     "extract_formula",
     "extract_equalities",
     "extract_inequalities",

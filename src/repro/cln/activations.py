@@ -26,36 +26,35 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import AutodiffError
-from repro.autodiff.functional import gaussian, sigmoid, where
+from repro.autodiff.functional import gaussian, pbqu, sigmoid
 from repro.autodiff.tensor import Tensor
 
 
-def gaussian_equality(t: Tensor, sigma: float = 0.1) -> Tensor:
-    """Relaxation of ``t == 0``; 1 exactly at t = 0, decaying in |t|."""
+def gaussian_equality(t: Tensor, sigma=0.1) -> Tensor:
+    """Relaxation of ``t == 0``; 1 exactly at t = 0, decaying in |t|.
+
+    ``sigma`` may be a float or a 0-d numpy box annealed in place.
+    """
     return gaussian(t, sigma)
 
 
-def pbqu_ge(t: Tensor, c1: float = 1.0, c2: float = 50.0) -> Tensor:
+def pbqu_ge(t: Tensor, c1=1.0, c2=50.0) -> Tensor:
     """PBQU relaxation of ``t >= 0`` (Eq. 3 of the paper).
 
     Args:
         t: residual values (already ``lhs - rhs``).
         c1: below-bound sharpness (small = strong violation penalty).
         c2: above-bound tolerance (large = slow decay above the bound).
+
+    One fused, tape-replayable graph node; ``c1``/``c2`` may be floats
+    or 0-d numpy boxes annealed in place.
     """
-    if c1 <= 0 or c2 <= 0:
-        raise AutodiffError(f"PBQU constants must be positive, got {c1}, {c2}")
-    below = (c1 * c1) / (t * t + c1 * c1)
-    above = (c2 * c2) / (t * t + c2 * c2)
-    return where(t.data >= 0.0, above, below)
+    return pbqu(t, c1, c2)
 
 
-def pbqu_le(t: Tensor, c1: float = 1.0, c2: float = 50.0) -> Tensor:
+def pbqu_le(t: Tensor, c1=1.0, c2=50.0) -> Tensor:
     """PBQU relaxation of ``t <= 0`` (mirror of :func:`pbqu_ge`)."""
-    below = (c2 * c2) / (t * t + c2 * c2)
-    above = (c1 * c1) / (t * t + c1 * c1)
-    return where(t.data <= 0.0, below, above)
+    return pbqu(-t, c1, c2)
 
 
 def sigmoid_ge(t: Tensor, B: float = 5.0, eps: float = 0.5) -> Tensor:

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.errors import TrainingError
 from repro.autodiff.optim import Adam, clip_grad_norm
+from repro.autodiff.tape import Tape
 from repro.autodiff.tensor import Tensor
 from repro.cln.activations import pbqu_ge
 from repro.cln.extract import (
@@ -110,12 +111,17 @@ class BoundBank:
         norms = ((w * w).sum(axis=1, keepdims=True) + 1e-12) ** 0.5
         return w / norms
 
-    def forward(self, X: Tensor, relax_scale: float = 1.0) -> Tensor:
-        """Activations of shape (samples, n_units)."""
+    def forward(self, X: Tensor, relax_scale: float = 1.0, c1=None) -> Tensor:
+        """Activations of shape (samples, n_units).
+
+        ``c1`` (float or 0-d numpy box) overrides the config constant
+        scaled by ``relax_scale`` — the taped trainer passes a box it
+        anneals in place.
+        """
         residuals = X @ self.effective_weights().T
-        return pbqu_ge(
-            residuals, self.config.c1 * relax_scale, self.config.c2
-        )
+        if c1 is None:
+            c1 = self.config.c1 * relax_scale
+        return pbqu_ge(residuals, c1, self.config.c2)
 
     def weights_numpy(self) -> np.ndarray:
         w = self.weight.data * self.masks
@@ -139,18 +145,28 @@ def train_bound_bank(
     anneal_epochs = max(1, epochs // 2)
     anneal_decay = anneal_init ** (-1.0 / anneal_epochs)
 
+    c1_box = np.array(config.c1 * anneal_init)
+    tape = Tape()
+    loss_node: list[Tensor] = []
+
+    def build() -> Tensor:
+        loss_node.clear()
+        loss = (1.0 - bank.forward(X, c1=c1_box)).sum()
+        loss_node.append(loss)
+        return loss
+
     relax_scale = anneal_init
     best = float("inf")
     stale = 0
     value = float("inf")
     for _epoch in range(1, epochs + 1):
+        c1_box[...] = config.c1 * relax_scale
         optimizer.zero_grad()
-        loss = (1.0 - bank.forward(X, relax_scale)).sum()
-        loss.backward()
+        tape.step(build)
         clip_grad_norm([bank.weight], 1000.0)
         optimizer.step()
         relax_scale = max(relax_scale * anneal_decay, 1.0)
-        value = loss.item()
+        value = float(loss_node[0].data)
         if not np.isfinite(value):
             raise TrainingError(f"bound-bank loss diverged to {value}")
         if relax_scale > 1.0:

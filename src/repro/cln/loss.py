@@ -9,12 +9,50 @@ conjunction gates from collapsing to 0 (which would satisfy everything
 vacuously); λ2 keeps disjunction gates from saturating at 1 (which
 would make every clause trivially satisfiable by its loosest literal).
 Both λ schedules adapt during training (see ``train.GateSchedule``).
+
+Two implementations share the math:
+
+* :func:`build_gcln_loss_batched` — the vectorized builder the training
+  loops tape and replay.  λ values arrive as leaf tensors and σ/c1 as
+  0-d numpy boxes, all updated in place by the schedule, so a recorded
+  tape stays valid across epochs.
+* :func:`gcln_loss` — the float-argument wrapper (tests, one-off eager
+  evaluation); it dispatches to the batched builder when the model
+  supports it and otherwise walks units eagerly.
 """
 
 from __future__ import annotations
 
 from repro.autodiff.tensor import Tensor
 from repro.cln.model import GCLN
+
+
+def build_gcln_loss_batched(
+    model: GCLN,
+    X: Tensor,
+    lam1: Tensor,
+    lam2: Tensor,
+    sigma,
+    c1,
+) -> Tensor:
+    """The full loss through the stacked forward (~15 graph nodes).
+
+    Args:
+        model: a :meth:`GCLN.batched_capable` model.
+        X: normalized data tensor.
+        lam1: λ1 as a (non-grad) leaf tensor, updated in place.
+        lam2: λ2 leaf tensor.
+        sigma: annealed σ (float or 0-d box).
+        c1: annealed c1 (float or 0-d box).
+    """
+    output = model.forward_batched(X, sigma=sigma, c1=c1)
+    data_term = (1.0 - output).sum()
+    and_term = (1.0 - model.and_gates).sum()
+    loss = data_term + lam1 * and_term + lam2 * model.or_gates_stacked.sum()
+    if model.config.weight_l1 > 0.0:
+        l1 = model.stacked_effective_weights().abs().sum()
+        loss = loss + model.config.weight_l1 * l1
+    return loss
 
 
 def gcln_loss(
@@ -24,7 +62,16 @@ def gcln_loss(
     lambda2: float,
     relax_scale: float = 1.0,
 ) -> Tensor:
-    """Compute the training loss on a full batch."""
+    """Compute the training loss on a full batch (eager, float knobs)."""
+    if model.config.vectorized and model.batched_capable():
+        return build_gcln_loss_batched(
+            model,
+            X,
+            Tensor(lambda1),
+            Tensor(lambda2),
+            model.config.sigma * relax_scale,
+            model.config.c1 * relax_scale,
+        )
     output = model.forward(X, relax_scale)
     data_term = (1.0 - output).sum()
     and_term = (1.0 - model.and_gates).sum()

@@ -85,6 +85,11 @@ class GCLNConfig:
     # multimodal and extraction validates/discards, so extra units only
     # cost training time.
     ineq_restarts: int = 2
+    # Vectorized training core: batched (units, terms) forward through
+    # the stacked weight matrix, fused kernels, and tape replay.  Off
+    # recovers the per-unit eager loops (kept as the reference
+    # implementation for equivalence tests and bench_perf baselines).
+    vectorized: bool = True
     # Extraction.
     max_denominators: tuple[int, ...] = (10, 15, 30)
 
@@ -104,12 +109,30 @@ class AtomicUnit:
         if not mask.any():
             raise TrainingError("dropout mask dropped every term")
         self.kind = kind
-        self.mask = mask
+        # Own copy: prune() mutates the mask in place (so that row views
+        # into a parent GCLN's stacked matrices stay bound).
+        self.mask = np.array(mask, dtype=bool)
         self.config = config
         init = rng.normal(0.0, 1.0, size=mask.shape[0])
         init[~mask] = 0.0
         self.weight = Tensor(init, requires_grad=True)
-        self._mask_tensor = Tensor(mask.astype(np.float64))
+        self._mask_tensor = Tensor(self.mask.astype(np.float64))
+
+    def bind_row(
+        self,
+        weight_row: np.ndarray,
+        mask_row: np.ndarray,
+        mask_value_row: np.ndarray,
+    ) -> None:
+        """Rebind this unit's storage onto rows of a stacked matrix.
+
+        The rows are numpy *views* into the parent model's
+        ``(units, terms)`` arrays, so the per-unit eager path and the
+        batched path read and write the same memory — no syncing.
+        """
+        self.weight = Tensor(weight_row, requires_grad=True)
+        self.mask = mask_row
+        self._mask_tensor = Tensor(mask_value_row)
 
     def effective_weight(self) -> Tensor:
         """Masked, optionally unit-L2-normalized weight vector."""
@@ -157,9 +180,13 @@ class AtomicUnit:
             return False
         if (self.mask.sum() - candidates.sum()) < 2:
             return False
-        self.mask = self.mask & ~candidates
-        self._mask_tensor = Tensor(self.mask.astype(np.float64))
-        self.weight.data[~self.mask] = 0.0
+        # In place: the mask arrays may be row views into the parent
+        # model's stacked matrices, and the mask-value tensor may be a
+        # leaf of a recorded tape (replay picks the update up).
+        new_mask = self.mask & ~candidates
+        self.mask[...] = new_mask
+        self._mask_tensor.data[...] = new_mask.astype(np.float64)
+        self.weight.data[~new_mask] = 0.0
         return True
 
     def weight_numpy(self) -> np.ndarray:
@@ -234,11 +261,50 @@ class GCLN:
         self.clauses: list[list[AtomicUnit]] = [list(group) for group in units]
         if not self.clauses:
             raise TrainingError("G-CLN needs at least one clause")
-        self.or_gates: list[Tensor] = [
-            Tensor(np.full(len(group), 0.95), requires_grad=True)
-            for group in self.clauses
-        ]
         self.and_gates = Tensor(np.full(len(self.clauses), 0.95), requires_grad=True)
+        self._stack_units()
+
+    def _stack_units(self) -> None:
+        """Stack all unit weights/masks into (units, terms) matrices.
+
+        The stacked tensors are the parameters the batched training
+        path optimizes; each unit's ``weight``/``mask`` are rebound to
+        row views, so the per-unit eager path (extraction, pruning,
+        legacy training) shares the same storage with no syncing.  OR
+        gates stack the same way when every clause has the same literal
+        count (always true for auto-built models).
+        """
+        flat = [unit for group in self.clauses for unit in group]
+        self.units_flat: list[AtomicUnit] = flat
+        self.unit_masks = np.stack([u.mask for u in flat])
+        self.unit_weights = Tensor(
+            np.stack([u.weight.data for u in flat]), requires_grad=True
+        )
+        self._unit_mask_tensor = Tensor(self.unit_masks.astype(np.float64))
+        for i, unit in enumerate(flat):
+            unit.bind_row(
+                self.unit_weights.data[i],
+                self.unit_masks[i],
+                self._unit_mask_tensor.data[i],
+            )
+        sizes = {len(group) for group in self.clauses}
+        self.uniform_literals = len(sizes) == 1
+        if self.uniform_literals:
+            per_clause = next(iter(sizes))
+            stacked = np.full((len(self.clauses), per_clause), 0.95)
+            self.or_gates_stacked: Tensor | None = Tensor(
+                stacked, requires_grad=True
+            )
+            self.or_gates = [
+                Tensor(self.or_gates_stacked.data[i], requires_grad=True)
+                for i in range(len(self.clauses))
+            ]
+        else:
+            self.or_gates_stacked = None
+            self.or_gates = [
+                Tensor(np.full(len(group), 0.95), requires_grad=True)
+                for group in self.clauses
+            ]
 
     # -- forward ---------------------------------------------------------
 
@@ -257,6 +323,72 @@ class GCLN:
         values = self.clause_values(X, relax_scale)
         return gated_tnorm(values, self.and_gates, axis=1)
 
+    # -- batched forward ------------------------------------------------------
+
+    def batched_capable(self) -> bool:
+        """Can this model run the stacked (units, terms) forward?
+
+        Requires a uniform literal count per clause (for the reshape
+        into ``(samples, clauses, literals)``) and a single activation
+        family across units.  Auto-built equality models and structured
+        inequality models both qualify; hand-assembled ragged or mixed
+        models fall back to the per-unit eager path.
+        """
+        kinds = {unit.kind for unit in self.units_flat}
+        return self.uniform_literals and len(kinds) == 1
+
+    def stacked_effective_weights(self) -> Tensor:
+        """Masked, optionally row-normalized (units, terms) weight matrix.
+
+        Row i is exactly ``units_flat[i].effective_weight()`` — the
+        epsilon and normalization must stay in lockstep with
+        :meth:`AtomicUnit.effective_weight` for the batched and
+        sequential paths to train identically.
+        """
+        w = self.unit_weights * self._unit_mask_tensor
+        if self.config.weight_regularization:
+            norm = ((w * w).sum(axis=1, keepdims=True) + 1e-12) ** 0.5
+            w = w / norm
+        return w
+
+    def unit_residuals(self, X: Tensor) -> Tensor:
+        """All units' linear responses at once, shape (samples, units)."""
+        return X @ self.stacked_effective_weights().T
+
+    def unit_activations(self, X: Tensor, sigma=None, c1=None, c2=None) -> Tensor:
+        """Batched unit truth values, shape (samples, units).
+
+        ``sigma``/``c1``/``c2`` may be floats or 0-d numpy boxes (for
+        tape-compatible annealing); defaults come from the config.
+        """
+        kinds = {unit.kind for unit in self.units_flat}
+        if len(kinds) != 1:
+            raise TrainingError("unit_activations requires a single unit kind")
+        residuals = self.unit_residuals(X)
+        if next(iter(kinds)) is AtomicKind.EQ:
+            return gaussian_equality(
+                residuals, self.config.sigma if sigma is None else sigma
+            )
+        return pbqu_ge(
+            residuals,
+            self.config.c1 if c1 is None else c1,
+            self.config.c2 if c2 is None else c2,
+        )
+
+    def forward_batched(self, X: Tensor, sigma=None, c1=None) -> Tensor:
+        """Model output M(x) via the stacked forward, shape (samples,).
+
+        Callers must check :meth:`batched_capable` first.  A whole
+        epoch's forward is ~10 graph nodes: mask/normalize, one matmul,
+        one fused activation, one reshape, and two fused gated t-norms.
+        """
+        acts = self.unit_activations(X, sigma=sigma, c1=c1)
+        values = acts.reshape(
+            acts.shape[0], len(self.clauses), len(self.clauses[0])
+        )
+        clause = gated_tconorm(values, self.or_gates_stacked, axis=2)
+        return gated_tnorm(clause, self.and_gates, axis=1)
+
     # -- parameters ----------------------------------------------------------
 
     def parameters(self) -> list[Tensor]:
@@ -267,14 +399,32 @@ class GCLN:
                 params.append(unit.weight)
         return params
 
+    def parameters_batched(self) -> list[Tensor]:
+        """The stacked parameters the vectorized trainers optimize.
+
+        Elementwise they are exactly :meth:`parameters` (the per-unit
+        tensors are row views of the stacked ones), so Adam and global
+        gradient clipping behave identically on either set.
+        """
+        gates: list[Tensor] = [self.and_gates]
+        if self.or_gates_stacked is not None:
+            gates.append(self.or_gates_stacked)
+        else:
+            gates.extend(self.or_gates)
+        return [*gates, self.unit_weights]
+
     def gate_parameters(self) -> list[Tensor]:
         return [self.and_gates, *self.or_gates]
 
     def project_gates(self) -> None:
         """Clip all gate parameters back into [0, 1] after an update."""
         np.clip(self.and_gates.data, 0.0, 1.0, out=self.and_gates.data)
-        for g in self.or_gates:
-            np.clip(g.data, 0.0, 1.0, out=g.data)
+        if self.or_gates_stacked is not None:
+            data = self.or_gates_stacked.data
+            np.clip(data, 0.0, 1.0, out=data)
+        else:
+            for g in self.or_gates:
+                np.clip(g.data, 0.0, 1.0, out=g.data)
 
     def gates_saturated(self, tolerance: float = 0.05) -> bool:
         """True when every gate is within ``tolerance`` of 0 or 1."""

@@ -17,7 +17,12 @@ to {0, 1}).
 
 from __future__ import annotations
 
-from repro.autodiff.functional import maximum, minimum
+from repro.autodiff.functional import (
+    fused_gated_tconorm,
+    fused_gated_tnorm,
+    maximum,
+    minimum,
+)
 from repro.autodiff.tensor import Tensor
 
 
@@ -48,17 +53,16 @@ def gated_tnorm(values: Tensor, gates: Tensor, axis: int = -1) -> Tensor:
 
     With the product t-norm this is ``prod(1 + g*(v - 1))`` along
     ``axis``; gate 1 passes the value through, gate 0 contributes the
-    t-norm identity 1.
+    t-norm identity 1.  Implemented as one fused, tape-replayable
+    graph node (see :func:`repro.autodiff.functional.fused_gated_tnorm`).
     """
-    axis = axis if axis >= 0 else values.ndim + axis
-    return (1.0 + gates * (values - 1.0)).prod(axis=axis)
+    return fused_gated_tnorm(values, gates, axis=axis)
 
 
 def gated_tconorm(values: Tensor, gates: Tensor, axis: int = -1) -> Tensor:
     """Gated t-conorm: ``1 - prod(1 - g*v)`` along ``axis``.
 
     Gate 1 passes the value through, gate 0 contributes the t-conorm
-    identity 0.
+    identity 0.  One fused graph node.
     """
-    axis = axis if axis >= 0 else values.ndim + axis
-    return 1.0 - (1.0 - gates * values).prod(axis=axis)
+    return fused_gated_tconorm(values, gates, axis=axis)

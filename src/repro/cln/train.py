@@ -1,8 +1,29 @@
-"""G-CLN training loop (§5.2.1, §6 system configuration).
+"""G-CLN training loops (§5.2.1, §6 system configuration).
 
 Full-batch Adam with multiplicative learning-rate decay, adaptive gate
 regularization schedules, gate projection back into [0, 1] after every
 step, and early stopping when the loss plateaus with saturated gates.
+
+Two execution strategies share the same math:
+
+* **Vectorized** (default, ``GCLNConfig.vectorized``): one batched
+  forward through the stacked ``(units, terms)`` weight matrix with
+  fused kernels, recorded once on a :class:`~repro.autodiff.tape.Tape`
+  and replayed with preallocated gradient buffers — an epoch is a
+  handful of large numpy calls.  Schedule values (λ1, λ2, annealed
+  σ/c1) live in leaf tensors / 0-d boxes updated in place.
+* **Eager reference** (``vectorized=False``, or models the stacked
+  forward cannot express): the original per-unit graph-building loops,
+  kept as the ground truth for equivalence tests and as the baseline
+  that ``benchmarks/bench_perf.py`` measures speedups against.
+
+:func:`train_gcln_restarts` trains R independent restarts
+simultaneously in one graph.  Restart gradients are decoupled (the
+total loss is a sum of per-restart terms), clipping is per restart
+group, each restart keeps its own Adam instance and λ/σ schedules, and
+a restart that hits its early-stop condition is snapshotted at that
+epoch and restored at the end — so every restart finishes with exactly
+the parameters sequential training would have produced.
 """
 
 from __future__ import annotations
@@ -13,9 +34,11 @@ import numpy as np
 
 from repro.errors import TrainingError
 from repro.autodiff.optim import Adam, clip_grad_norm
-from repro.autodiff.tensor import Tensor
-from repro.cln.loss import GateSchedule, gcln_loss
-from repro.cln.model import GCLN
+from repro.autodiff.tape import Tape
+from repro.autodiff.tensor import Tensor, no_grad
+from repro.cln.activations import gaussian_equality, pbqu_ge
+from repro.cln.loss import GateSchedule, build_gcln_loss_batched, gcln_loss
+from repro.cln.model import AtomicKind, GCLN
 
 
 @dataclass
@@ -26,6 +49,242 @@ class TrainResult:
     epochs: int
     converged: bool
     loss_history: list[float] = field(default_factory=list)
+
+
+@dataclass
+class RestartOutcome:
+    """One restart's outcome from :func:`train_gcln_restarts`.
+
+    ``error`` carries the message of what would have been a
+    :class:`TrainingError` in sequential training (e.g. divergence);
+    the restart's parameters are then unusable and ``result`` is None.
+    """
+
+    result: TrainResult | None
+    error: str | None = None
+
+
+def _validate_data(data: np.ndarray) -> None:
+    if data.ndim != 2 or data.shape[0] == 0:
+        raise TrainingError(
+            f"training data must be a non-empty 2-D matrix, got {data.shape}"
+        )
+
+
+def _anneal(config, epochs: int) -> tuple[float, float]:
+    """(initial relax scale, per-epoch geometric decay factor)."""
+    anneal_init = max(config.anneal_init, 1.0)
+    anneal_epochs = max(1, epochs // 2)
+    return anneal_init, anneal_init ** (-1.0 / anneal_epochs)
+
+
+def _data_convergence(model: GCLN, X: Tensor, n_samples: int) -> tuple[float, bool]:
+    with no_grad():
+        data_term = float((1.0 - model.forward(X).data).sum())
+    return data_term, (data_term / n_samples) < 0.1
+
+
+class _RestartState:
+    """Per-restart bookkeeping for the batched multi-restart loop."""
+
+    __slots__ = (
+        "model",
+        "optimizer",
+        "lambda1",
+        "lambda2",
+        "lam1_t",
+        "lam2_t",
+        "sigma_box",
+        "c1_box",
+        "relax_scale",
+        "anneal_decay",
+        "best_loss",
+        "stale",
+        "epoch",
+        "stopped",
+        "error",
+        "history",
+    )
+
+    def __init__(self, model: GCLN, epochs: int):
+        config = model.config
+        self.model = model
+        self.optimizer = Adam(
+            model.parameters_batched(),
+            lr=config.learning_rate,
+            decay=config.lr_decay,
+        )
+        self.lambda1 = GateSchedule(*config.lambda1_schedule)
+        self.lambda2 = GateSchedule(*config.lambda2_schedule)
+        self.lam1_t = Tensor(0.0)
+        self.lam2_t = Tensor(0.0)
+        anneal_init, self.anneal_decay = _anneal(config, epochs)
+        self.relax_scale = anneal_init
+        self.sigma_box = np.array(config.sigma * anneal_init)
+        self.c1_box = np.array(config.c1 * anneal_init)
+        self.best_loss = float("inf")
+        self.stale = 0
+        self.epoch = 0
+        self.stopped = False
+        self.error: str | None = None
+        self.history: list[float] | None = None
+
+    def begin_epoch(self) -> None:
+        config = self.model.config
+        self.lam1_t.data[...] = self.lambda1.step()
+        self.lam2_t.data[...] = self.lambda2.step()
+        self.sigma_box[...] = config.sigma * self.relax_scale
+        self.c1_box[...] = config.c1 * self.relax_scale
+
+
+def _run_restart_epochs(
+    states: list[_RestartState],
+    X: Tensor,
+    epochs: int,
+    early_stop_patience: int,
+    loss_tolerance: float,
+    require_saturation: bool,
+    clip_norm: float,
+    raise_on_divergence: bool = False,
+) -> None:
+    """Drive the shared epoch loop over every restart simultaneously.
+
+    This is the *single* copy of the vectorized training-loop
+    invariants (anneal gating, prune timing, post-anneal loss
+    comparability, stale/saturation early stop): solo ``train_gcln``
+    runs it with one state, so the bitwise restarts==solo guarantee is
+    structural rather than maintained by hand.
+    """
+    loss_nodes: list[Tensor] = []
+    tape = Tape()
+
+    def build() -> Tensor:
+        loss_nodes.clear()
+        total: Tensor | None = None
+        for state in states:
+            term = build_gcln_loss_batched(
+                state.model, X, state.lam1_t, state.lam2_t,
+                state.sigma_box, state.c1_box,
+            )
+            loss_nodes.append(term)
+            total = term if total is None else total + term
+        return total  # type: ignore[return-value]
+
+    for epoch in range(1, epochs + 1):
+        for state in states:
+            if not state.stopped:
+                state.begin_epoch()
+        tape.step(build)
+        for state in states:
+            if not state.stopped:
+                clip_grad_norm(state.optimizer.params, clip_norm)
+                state.optimizer.step()
+                state.model.project_gates()
+        for state, node in zip(states, loss_nodes):
+            if state.stopped:
+                continue
+            state.epoch = epoch
+            config = state.model.config
+            state.relax_scale = max(
+                state.relax_scale * state.anneal_decay, 1.0
+            )
+            if (
+                state.relax_scale == 1.0
+                and config.prune_interval > 0
+                and epoch % config.prune_interval == 0
+            ):
+                for group in state.model.clauses:
+                    for unit in group:
+                        unit.prune(config.prune_threshold)
+            value = float(node.data)
+            if not np.isfinite(value):
+                message = f"loss diverged to {value} at epoch {epoch}"
+                if raise_on_divergence:
+                    raise TrainingError(message)
+                state.error = message
+                state.stopped = True
+                continue
+            if state.history is not None:
+                state.history.append(value)
+            if state.relax_scale > 1.0:
+                # Still annealing: loss values are not yet comparable.
+                state.best_loss = min(state.best_loss, value)
+                continue
+            if value < state.best_loss - loss_tolerance:
+                state.best_loss = value
+                state.stale = 0
+            else:
+                state.stale += 1
+            if state.stale >= early_stop_patience and (
+                not require_saturation or state.model.gates_saturated()
+            ):
+                # Once stopped, the restart's parameters never change
+                # again (no clip/step/project/prune), so it finishes
+                # with exactly the weights sequential training at this
+                # epoch would have produced; the shared graph keeps
+                # computing its (ignored) forward pass.
+                state.stopped = True
+        for state in states:
+            state.optimizer.zero_grad()
+        if all(state.stopped for state in states):
+            break
+
+
+def train_gcln_restarts(
+    models: list[GCLN],
+    data: np.ndarray,
+    max_epochs: int | None = None,
+    early_stop_patience: int = 200,
+    loss_tolerance: float = 1e-4,
+) -> list[RestartOutcome]:
+    """Train R independent G-CLN restarts simultaneously in one graph.
+
+    Every model trains exactly as it would under :func:`train_gcln`
+    alone (decoupled gradients, per-restart clipping and Adam state,
+    early-stopped restarts snapshotted and restored), but the epochs
+    run through one taped graph, amortizing the Python interpreter over
+    the whole batch.
+
+    Args:
+        models: batched-capable models (e.g. one per scheduled attempt,
+            differing only in dropout masks / seeds).
+        data: shared samples-by-terms matrix (already normalized).
+        max_epochs: overrides each model's ``config.max_epochs``.
+
+    Returns:
+        One :class:`RestartOutcome` per model, in input order.
+    """
+    _validate_data(data)
+    if not models:
+        raise TrainingError("train_gcln_restarts needs at least one model")
+    if not all(m.batched_capable() for m in models):
+        raise TrainingError(
+            "all models must be batched-capable; train ragged/mixed models "
+            "individually via train_gcln"
+        )
+    epochs = max_epochs if max_epochs is not None else models[0].config.max_epochs
+    X = Tensor(data)
+    states = [_RestartState(model, epochs) for model in models]
+    _run_restart_epochs(
+        states, X, epochs, early_stop_patience, loss_tolerance,
+        require_saturation=True, clip_norm=100.0,
+    )
+    outcomes: list[RestartOutcome] = []
+    for state in states:
+        if state.error is not None:
+            outcomes.append(RestartOutcome(result=None, error=state.error))
+            continue
+        data_term, converged = _data_convergence(state.model, X, data.shape[0])
+        outcomes.append(
+            RestartOutcome(
+                result=TrainResult(
+                    final_loss=state.best_loss,
+                    epochs=state.epoch,
+                    converged=converged,
+                )
+            )
+        )
+    return outcomes
 
 
 def train_gcln(
@@ -53,10 +312,56 @@ def train_gcln(
         A :class:`TrainResult`; ``converged`` is True when the data
         term of the loss is small (every sample close to truth value 1).
     """
-    if data.ndim != 2 or data.shape[0] == 0:
-        raise TrainingError(f"training data must be a non-empty 2-D matrix, got {data.shape}")
+    _validate_data(data)
     config = model.config
     epochs = max_epochs if max_epochs is not None else config.max_epochs
+    if config.vectorized and model.batched_capable():
+        return _train_gcln_vectorized(
+            model, data, epochs, early_stop_patience, loss_tolerance,
+            record_history,
+        )
+    return _train_gcln_eager(
+        model, data, epochs, early_stop_patience, loss_tolerance,
+        record_history,
+    )
+
+
+def _train_gcln_vectorized(
+    model: GCLN,
+    data: np.ndarray,
+    epochs: int,
+    early_stop_patience: int,
+    loss_tolerance: float,
+    record_history: bool,
+) -> TrainResult:
+    """Taped single-model training: the one-restart run of the shared loop."""
+    X = Tensor(data)
+    state = _RestartState(model, epochs)
+    if record_history:
+        state.history = []
+    _run_restart_epochs(
+        [state], X, epochs, early_stop_patience, loss_tolerance,
+        require_saturation=True, clip_norm=100.0, raise_on_divergence=True,
+    )
+    _, converged = _data_convergence(model, X, data.shape[0])
+    return TrainResult(
+        final_loss=state.best_loss,
+        epochs=state.epoch,
+        converged=converged,
+        loss_history=state.history or [],
+    )
+
+
+def _train_gcln_eager(
+    model: GCLN,
+    data: np.ndarray,
+    epochs: int,
+    early_stop_patience: int,
+    loss_tolerance: float,
+    record_history: bool,
+) -> TrainResult:
+    """Reference implementation: rebuild the graph every epoch."""
+    config = model.config
     X = Tensor(data)
     optimizer = Adam(
         model.parameters(), lr=config.learning_rate, decay=config.lr_decay
@@ -68,9 +373,7 @@ def train_gcln(
     # ``anneal_init`` and tighten geometrically to the paper's constants
     # by mid-training, so initial residuals (~data norm) still produce
     # gradients.  relax_scale = 1.0 from the midpoint on.
-    anneal_init = max(config.anneal_init, 1.0)
-    anneal_epochs = max(1, epochs // 2)
-    anneal_decay = anneal_init ** (-1.0 / anneal_epochs)
+    anneal_init, anneal_decay = _anneal(config, epochs)
 
     history: list[float] = []
     best_loss = float("inf")
@@ -101,7 +404,8 @@ def train_gcln(
         if record_history:
             history.append(value)
         if relax_scale > 1.0:
-            # Still annealing: loss values are not yet comparable.
+            # Still annealing: loss values are not yet comparable (and
+            # the gate-saturation scan is skipped entirely).
             best_loss = min(best_loss, value)
             continue
         if value < best_loss - loss_tolerance:
@@ -112,12 +416,11 @@ def train_gcln(
         if stale >= early_stop_patience and model.gates_saturated():
             break
 
-    data_term = float((1.0 - model.forward(X).data).sum())
-    per_sample = data_term / data.shape[0]
+    _, converged = _data_convergence(model, X, data.shape[0])
     return TrainResult(
         final_loss=best_loss,
         epochs=epoch,
-        converged=per_sample < 0.1,
+        converged=converged,
         loss_history=history,
     )
 
@@ -128,6 +431,7 @@ def train_units_independently(
     max_epochs: int | None = None,
     early_stop_patience: int = 200,
     loss_tolerance: float = 1e-4,
+    batched: bool | None = None,
 ) -> TrainResult:
     """Train each atomic unit on its own objective (no gate coupling).
 
@@ -136,21 +440,114 @@ def train_units_independently(
     of the G-CLN loss.  Joint training through a 20-way gated product
     starves individual bound units of gradient; independent fitting
     matches the paper's per-bound convergence analysis (Theorem 4.2).
+
+    Args:
+        batched: run all units as one stacked forward on a tape
+            (default: ``model.config.vectorized``).  The sequential
+            per-unit loop is the reference the batched path is tested
+            against — both produce the same invariants for the same
+            seed.
     """
-    if data.ndim != 2 or data.shape[0] == 0:
-        raise TrainingError(
-            f"training data must be a non-empty 2-D matrix, got {data.shape}"
-        )
+    _validate_data(data)
     config = model.config
     epochs = max_epochs if max_epochs is not None else config.max_epochs
+    if batched is None:
+        batched = config.vectorized
+    if batched:
+        return _train_units_batched(
+            model, data, epochs, early_stop_patience, loss_tolerance
+        )
+    return _train_units_sequential(
+        model, data, epochs, early_stop_patience, loss_tolerance
+    )
+
+
+def _train_units_batched(
+    model: GCLN,
+    data: np.ndarray,
+    epochs: int,
+    early_stop_patience: int,
+    loss_tolerance: float,
+) -> TrainResult:
+    """One stacked forward + tape replay for all units at once."""
+    config = model.config
+    X = Tensor(data)
+    optimizer = Adam(
+        [model.unit_weights], lr=config.learning_rate, decay=config.lr_decay
+    )
+    anneal_init, anneal_decay = _anneal(config, epochs)
+    sigma_box = np.array(config.sigma * anneal_init)
+    c1_box = np.array(config.c1 * anneal_init)
+    eq_idx = [
+        i for i, u in enumerate(model.units_flat) if u.kind is AtomicKind.EQ
+    ]
+    ge_idx = [
+        i for i, u in enumerate(model.units_flat) if u.kind is AtomicKind.GE
+    ]
+    tape = Tape()
+    loss_node: list[Tensor] = []
+
+    def build() -> Tensor:
+        loss_node.clear()
+        residuals = model.unit_residuals(X)
+        total: Tensor | None = None
+        for idx, mixed in ((eq_idx, bool(ge_idx)), (ge_idx, bool(eq_idx))):
+            if not idx:
+                continue
+            r = residuals[:, idx] if mixed else residuals
+            if idx is eq_idx:
+                act = gaussian_equality(r, sigma_box)
+            else:
+                act = pbqu_ge(r, c1_box, config.c2)
+            term = (1.0 - act).sum()
+            total = term if total is None else total + term
+        loss_node.append(total)  # type: ignore[arg-type]
+        return total  # type: ignore[return-value]
+
+    best_loss = float("inf")
+    stale = 0
+    relax_scale = anneal_init
+    epoch = 0
+    for epoch in range(1, epochs + 1):
+        sigma_box[...] = config.sigma * relax_scale
+        c1_box[...] = config.c1 * relax_scale
+        optimizer.zero_grad()
+        tape.step(build)
+        clip_grad_norm(optimizer.params, 100.0)
+        optimizer.step()
+        relax_scale = max(relax_scale * anneal_decay, 1.0)
+
+        value = float(loss_node[0].data)
+        if not np.isfinite(value):
+            raise TrainingError(f"loss diverged to {value} at epoch {epoch}")
+        if relax_scale > 1.0:
+            best_loss = min(best_loss, value)
+            continue
+        if value < best_loss - loss_tolerance:
+            best_loss = value
+            stale = 0
+        else:
+            stale += 1
+        if stale >= early_stop_patience:
+            break
+    return TrainResult(final_loss=best_loss, epochs=epoch, converged=True)
+
+
+def _train_units_sequential(
+    model: GCLN,
+    data: np.ndarray,
+    epochs: int,
+    early_stop_patience: int,
+    loss_tolerance: float,
+) -> TrainResult:
+    """Reference implementation: one graph chain per unit per epoch."""
+    config = model.config
     X = Tensor(data)
     units = [unit for group in model.clauses for unit in group]
     optimizer = Adam(
         [u.weight for u in units], lr=config.learning_rate, decay=config.lr_decay
     )
-    anneal_init = max(config.anneal_init, 1.0)
-    anneal_epochs = max(1, epochs // 2)
-    anneal_decay = anneal_init ** (-1.0 / anneal_epochs)
+    anneal_init, anneal_decay = _anneal(config, epochs)
 
     best_loss = float("inf")
     stale = 0

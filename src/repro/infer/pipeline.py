@@ -37,7 +37,7 @@ from repro.checker.result import CheckOutcome
 from repro.cln.bounds import BoundBank, enumerate_bound_masks, extract_bound_atoms, train_bound_bank
 from repro.cln.extract import extract_equalities
 from repro.cln.model import GCLN, complexity_term_weights
-from repro.cln.train import train_gcln
+from repro.cln.train import RestartOutcome, train_gcln, train_gcln_restarts
 from repro.errors import InferenceError, TrainingError
 from repro.poly.reduce import inter_reduce, is_implied_equality, reduce_modulo
 from repro.sampling.cache import TraceCache
@@ -150,6 +150,7 @@ class InferenceEngine:
             externals=problem.externals,
             rng=np.random.default_rng(DEFAULT_CHECKER_SEED),
             trace_cache=self.cache,
+            memoize=self.config.checker_memoization,
         )
 
     # -- main loop -------------------------------------------------------------
@@ -176,46 +177,67 @@ class InferenceEngine:
         rejections: dict[int, dict[str, str]] = {i: {} for i in range(n_loops)}
         scheduler = AttemptScheduler(config, fractional=problem.fractional)
 
+        def accumulate(loop_index: int, atoms) -> None:
+            """Dedupe candidates across attempts before they reach the
+            checker: an atom already rejected (or already accumulated)
+            never re-enters the pool."""
+            pool = accumulated[loop_index]
+            rejected = rejections[loop_index]
+            for atom in atoms:
+                key = str(atom)
+                if key not in rejected:
+                    pool.setdefault(key, atom)
+
         solved = False
-        for plan in scheduler:
-            attempt = plan.index + 1
-            self._emit(
-                AttemptStarted(
-                    problem=problem.name,
-                    solver=self.SOLVER_NAME,
-                    attempt=attempt,
-                    dropout=plan.dropout,
-                    fractional_interval=plan.fractional_interval,
+        for batch in scheduler.iter_batches(config.attempt_batch_size):
+            attempt = batch[-1].index + 1
+            for plan in batch:
+                self._emit(
+                    AttemptStarted(
+                        problem=problem.name,
+                        solver=self.SOLVER_NAME,
+                        attempt=plan.index + 1,
+                        dropout=plan.dropout,
+                        fractional_interval=plan.fractional_interval,
+                    )
                 )
-            )
             timings = {stage: 0.0 for stage in STAGES}
             with timed_stage(timings, "collect"):
-                dataset = collect_states(
-                    problem, config, plan.fractional_interval, self.cache
-                )
-            gcln_config = config.gcln_for_attempt(plan.dropout)
+                # One call per plan for cache-stat parity with the
+                # sequential schedule; all plans in a batch share the
+                # fractional interval, so these are hits after the first.
+                for plan in batch:
+                    dataset = collect_states(
+                        problem, config, plan.fractional_interval, self.cache
+                    )
 
             for loop_index in range(n_loops):
                 loop_states = dataset.states[loop_index]
                 if len(loop_states) < 3:
                     continue
                 with timed_stage(timings, "collect"):
-                    bundle = build_matrix(
-                        problem, config, dataset, loop_index, self.cache
-                    )
+                    for plan in batch:
+                        bundle = build_matrix(
+                            problem, config, dataset, loop_index, self.cache
+                        )
                 basis, data = bundle.basis, bundle.data
-                for atom in instantiate_fractional(
-                    bundle.degenerate, loop_states, dataset.fractional_vars
-                ):
-                    accumulated[loop_index].setdefault(str(atom), atom)
-                rng = np.random.default_rng(plan.seed * 1000 + loop_index)
+                accumulate(
+                    loop_index,
+                    instantiate_fractional(
+                        bundle.degenerate, loop_states, dataset.fractional_vars
+                    ),
+                )
                 weights = complexity_term_weights(
                     [m.degree for m in basis.monomials],
                     [len(m.variables) for m in basis.monomials],
                 )
-                eq_atoms: list[Atom] = []
-                try:
-                    with timed_stage(timings, "train"):
+
+                # Build one model per scheduled attempt in the batch.
+                entries: list[tuple] = []  # (plan, rng, model | None)
+                for plan in batch:
+                    rng = np.random.default_rng(plan.seed * 1000 + loop_index)
+                    gcln_config = config.gcln_for_attempt(plan.dropout)
+                    try:
                         model = GCLN(
                             len(basis),
                             gcln_config,
@@ -223,40 +245,75 @@ class InferenceEngine:
                             protected_terms=[0],
                             term_weights=weights,
                         )
-                        train_gcln(model, data)
-                    with timed_stage(timings, "extract"):
-                        eq_atoms = extract_equalities(model, basis, loop_states)
-                except TrainingError as exc:
-                    result.notes.append(f"loop {loop_index}: training failed: {exc}")
-                    eq_atoms = []
-                with timed_stage(timings, "extract"):
-                    for atom in instantiate_fractional(
-                        eq_atoms, loop_states, dataset.fractional_vars
-                    ):
-                        accumulated[loop_index].setdefault(str(atom), atom)
-
-                if problem.learn_inequalities:
-                    term_vars = [m.variables for m in basis.monomials]
-                    term_degs = [m.degree for m in basis.monomials]
-                    ge_atoms: list[Atom] = []
-                    try:
-                        with timed_stage(timings, "train"):
-                            masks = enumerate_bound_masks(
-                                term_vars, term_degs, gcln_config
-                            )
-                            bank = BoundBank(masks, gcln_config, rng)
-                            train_bound_bank(bank, data)
-                        with timed_stage(timings, "extract"):
-                            ge_atoms = extract_bound_atoms(
-                                bank, basis, loop_states, data
-                            )
                     except TrainingError as exc:
                         result.notes.append(
-                            f"loop {loop_index}: inequality training failed: {exc}"
+                            f"loop {loop_index}: training failed: {exc}"
                         )
-                        ge_atoms = []
-                    for atom in ge_atoms:
-                        accumulated[loop_index].setdefault(str(atom), atom)
+                        model = None
+                    entries.append((plan, rng, model))
+
+                models = [m for _, _, m in entries if m is not None]
+                outcomes: dict[int, RestartOutcome] = {}
+                with timed_stage(timings, "train"):
+                    if len(models) > 1 and all(
+                        m.batched_capable() and m.config.vectorized
+                        for m in models
+                    ):
+                        batch_outcomes = train_gcln_restarts(models, data)
+                        for model, outcome in zip(models, batch_outcomes):
+                            outcomes[id(model)] = outcome
+                    else:
+                        for model in models:
+                            try:
+                                train_gcln(model, data)
+                                outcomes[id(model)] = RestartOutcome(result=None)
+                            except TrainingError as exc:
+                                outcomes[id(model)] = RestartOutcome(
+                                    result=None, error=str(exc)
+                                )
+
+                for plan, rng, model in entries:
+                    eq_atoms: list[Atom] = []
+                    outcome = outcomes.get(id(model)) if model is not None else None
+                    if model is not None and outcome.error is not None:
+                        result.notes.append(
+                            f"loop {loop_index}: training failed: {outcome.error}"
+                        )
+                    elif model is not None:
+                        with timed_stage(timings, "extract"):
+                            eq_atoms = extract_equalities(
+                                model, basis, loop_states
+                            )
+                    with timed_stage(timings, "extract"):
+                        accumulate(
+                            loop_index,
+                            instantiate_fractional(
+                                eq_atoms, loop_states, dataset.fractional_vars
+                            ),
+                        )
+
+                    if problem.learn_inequalities:
+                        gcln_config = config.gcln_for_attempt(plan.dropout)
+                        term_vars = [m.variables for m in basis.monomials]
+                        term_degs = [m.degree for m in basis.monomials]
+                        ge_atoms: list[Atom] = []
+                        try:
+                            with timed_stage(timings, "train"):
+                                masks = enumerate_bound_masks(
+                                    term_vars, term_degs, gcln_config
+                                )
+                                bank = BoundBank(masks, gcln_config, rng)
+                                train_bound_bank(bank, data)
+                            with timed_stage(timings, "extract"):
+                                ge_atoms = extract_bound_atoms(
+                                    bank, basis, loop_states, data
+                                )
+                        except TrainingError as exc:
+                            result.notes.append(
+                                f"loop {loop_index}: inequality training failed: {exc}"
+                            )
+                            ge_atoms = []
+                        accumulate(loop_index, ge_atoms)
 
             # Soundness filtering + solved test.
             loop_results = []

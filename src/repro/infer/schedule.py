@@ -95,3 +95,36 @@ class AttemptScheduler:
                 return
             self.attempts_made += 1
             yield plan
+
+    def iter_batches(self, max_size: int = 1) -> Iterator[tuple[AttemptPlan, ...]]:
+        """Yield plans grouped for batched multi-restart training.
+
+        The first attempt always runs alone — most solvable problems
+        succeed immediately, and batching retries with it would train
+        extra restarts for nothing.  Subsequent consecutive plans with
+        the same fractional interval (hence the same data matrices)
+        group up to ``max_size``; a change of interval starts a new
+        batch because the training data differs.
+
+        ``attempts_made`` counts every plan yielded, so batched and
+        sequential iteration report the same attempt totals when the
+        whole schedule runs.
+        """
+        if max_size < 1:
+            max_size = 1
+        i = 0
+        while i < len(self.plans) and not self._stopped:
+            plan = self.plans[i]
+            batch = [plan]
+            i += 1
+            if plan.index > 0:
+                while (
+                    i < len(self.plans)
+                    and len(batch) < max_size
+                    and self.plans[i].fractional_interval
+                    == plan.fractional_interval
+                ):
+                    batch.append(self.plans[i])
+                    i += 1
+            self.attempts_made += len(batch)
+            yield tuple(batch)

@@ -17,8 +17,12 @@ callers must treat them as immutable.
 from __future__ import annotations
 
 import hashlib
+import os
+import pickle
+import tempfile
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.lang.ast import Program
@@ -65,6 +69,10 @@ class CacheStats:
     matrix_hits: int = 0
     matrix_misses: int = 0
     evictions: int = 0
+    # Entries recovered from the on-disk spill (``cache_dir``) instead
+    # of being recomputed — the signal that benchmark reruns are
+    # skipping interpretation entirely.
+    disk_hits: int = 0
 
     @property
     def hits(self) -> int:
@@ -81,7 +89,13 @@ class CacheStats:
             "matrix_hits": self.matrix_hits,
             "matrix_misses": self.matrix_misses,
             "evictions": self.evictions,
+            "disk_hits": self.disk_hits,
         }
+
+
+# Bump when cached value layouts change; baked into every disk key so
+# stale spills from older code are ignored rather than unpickled.
+_DISK_FORMAT_VERSION = 1
 
 
 class TraceCache:
@@ -91,12 +105,66 @@ class TraceCache:
     InferenceEngine` (or injected, to share across engines / with the
     checker).  Entries are evicted least-recently-used once
     ``max_entries`` is exceeded, bounding memory during batch runs.
+
+    With ``cache_dir`` set, every computed entry is also spilled to
+    disk under a digest of its content key (program/input fingerprints
+    and stage knobs), and misses consult the spill before recomputing —
+    so a benchmark rerun, or a fresh process pointed at the same
+    directory, skips interpretation and term evaluation entirely.
+    Disk recoveries are counted in ``stats.disk_hits``; unreadable or
+    stale spill files are treated as misses, never as errors.
     """
 
-    def __init__(self, max_entries: int = 128):
+    def __init__(
+        self,
+        max_entries: int = 128,
+        cache_dir: str | os.PathLike | None = None,
+    ):
         self.max_entries = max_entries
         self.stats = CacheStats()
         self._entries: OrderedDict[tuple, object] = OrderedDict()
+        self.cache_dir: Path | None = Path(cache_dir) if cache_dir else None
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+
+    # -- disk spill ------------------------------------------------------------
+
+    def _disk_path(self, full_key: tuple) -> Path:
+        digest = hashlib.sha1(
+            repr((_DISK_FORMAT_VERSION, *full_key)).encode()
+        ).hexdigest()
+        return self.cache_dir / f"{digest}.pkl"  # type: ignore[operator]
+
+    def _disk_load(self, full_key: tuple) -> tuple[bool, object]:
+        if self.cache_dir is None:
+            return False, None
+        path = self._disk_path(full_key)
+        try:
+            with open(path, "rb") as handle:
+                return True, pickle.load(handle)
+        except Exception:  # noqa: BLE001 — any unreadable spill is a miss
+            # Corrupt bytes, renamed classes, truncated writes: the
+            # spill is an optimization, so recompute rather than fail.
+            return False, None
+
+    def _disk_store(self, full_key: tuple, value: object) -> None:
+        if self.cache_dir is None:
+            return
+        path = self._disk_path(full_key)
+        try:
+            fd, tmp = tempfile.mkstemp(
+                dir=self.cache_dir, prefix=path.stem, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except (OSError, pickle.PicklingError, TypeError):
+            # Unpicklable or unwritable: stay memory-only.
+            return
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -137,12 +205,18 @@ class TraceCache:
             else:
                 self.stats.matrix_hits += 1
             return value
+        disk_hit, value = self._disk_load(full_key)
+        if disk_hit:
+            self.stats.disk_hits += 1
+            self._store(full_key, value)
+            return value
         if kind == "trace":
             self.stats.trace_misses += 1
         else:
             self.stats.matrix_misses += 1
         value = compute()
         self._store(full_key, value)
+        self._disk_store(full_key, value)
         return value
 
     # -- trace collection ------------------------------------------------------

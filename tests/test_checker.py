@@ -120,3 +120,37 @@ while (mod(x, 2) == 0) { x = x / 2; }
     guard = checker.bounded.guard_fn(program.loops[0])
     assert guard({"n": 4, "x": 4})
     assert not guard({"n": 4, "x": 3})
+
+
+def test_filter_sound_atoms_memoizes_repeat_checks(sqrt1_program):
+    """Re-submitting a grown candidate pool reuses prior verdicts."""
+    checker = InvariantChecker(
+        sqrt1_program,
+        [{"n": v} for v in range(0, 60)],
+        rng=np.random.default_rng(7),
+    )
+    good = parse_ground_truth("t == 2*a + 1")
+    bad = parse_ground_truth("a == n")
+    first = checker.filter_sound_atoms(0, [good, bad])
+    assert [str(a) for a in first.sound] == [str(good)]
+    hits_after_first = checker.memo_hits
+
+    again = checker.filter_sound_atoms(0, [good, bad])
+    assert [str(a) for a in again.sound] == [str(good)]
+    assert [r for a, r in again.rejected] == [r for a, r in first.rejected]
+    assert checker.memo_hits > hits_after_first
+
+
+def test_filter_sound_atoms_memo_disabled_matches(sqrt1_program):
+    inputs = [{"n": v} for v in range(0, 60)]
+    atoms = [parse_ground_truth("t == 2*a + 1"), parse_ground_truth("a >= 0")]
+    memoized = InvariantChecker(
+        sqrt1_program, inputs, rng=np.random.default_rng(7)
+    )
+    plain = InvariantChecker(
+        sqrt1_program, inputs, rng=np.random.default_rng(7), memoize=False
+    )
+    a = memoized.filter_sound_atoms(0, atoms)
+    b = plain.filter_sound_atoms(0, atoms)
+    assert [str(x) for x in a.sound] == [str(x) for x in b.sound]
+    assert plain.memo_hits == 0

@@ -151,3 +151,23 @@ def test_run_json_output(capsys, tmp_path):
     assert payload["problem"] == "ps2"
     assert isinstance(payload["solved"], bool)
     assert payload["loops"] and "invariant" in payload["loops"][0]
+
+
+@pytest.mark.slow
+def test_profile_command(capsys, tmp_path):
+    code = main(
+        [
+            "profile",
+            "ps2",
+            "--epochs",
+            "120",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    for stage in ("collect", "train", "extract", "check"):
+        assert stage in out
+    assert "TOTAL" in out
+    assert "disk_hits" in out

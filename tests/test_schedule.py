@@ -49,3 +49,37 @@ def test_plans_are_frozen_value_objects():
     a = AttemptPlan(index=0, dropout=0.6, seed=1, fractional_interval=None)
     b = AttemptPlan(index=0, dropout=0.6, seed=1, fractional_interval=None)
     assert a == b and hash(a) == hash(b)
+
+
+def test_iter_batches_first_attempt_runs_alone():
+    scheduler = AttemptScheduler(InferenceConfig(), fractional=False)
+    batches = list(scheduler.iter_batches(max_size=2))
+    assert [len(b) for b in batches] == [1, 2, 1]
+    assert [p.index for b in batches for p in b] == [0, 1, 2, 3]
+    assert scheduler.attempts_made == 4
+
+
+def test_iter_batches_max_size_one_is_sequential():
+    scheduler = AttemptScheduler(InferenceConfig(), fractional=False)
+    batches = list(scheduler.iter_batches(max_size=1))
+    assert [len(b) for b in batches] == [1, 1, 1, 1]
+
+
+def test_iter_batches_splits_on_interval_change():
+    """Fractional schedule 0.5, 0.25, 0.25, 0.25: the interval change
+    after attempt 1 starts a fresh batch because the data differs."""
+    scheduler = AttemptScheduler(InferenceConfig(), fractional=True)
+    batches = list(scheduler.iter_batches(max_size=4))
+    intervals = [[p.fractional_interval for p in b] for b in batches]
+    assert intervals == [[0.5], [0.25, 0.25, 0.25]]
+    assert scheduler.attempts_made == 4
+
+
+def test_iter_batches_respects_early_stop():
+    scheduler = AttemptScheduler(InferenceConfig(), fractional=False)
+    seen = []
+    for batch in scheduler.iter_batches(max_size=2):
+        seen.append(batch)
+        scheduler.stop()
+    assert len(seen) == 1 and len(seen[0]) == 1
+    assert scheduler.attempts_made == 1
