@@ -3,9 +3,14 @@
 Two kinds of checks:
 
 * **Relative speedups** (machine-independent): the batched units path
-  must stay >= 3x its sequential reference and the end-to-end solves
-  >= 2x the all-optimizations-off configuration — the acceptance
-  criteria of the vectorized-training-core change.
+  must stay >= 3x its sequential reference, the cross-problem suite
+  batch >= 2x per-problem training, and the end-to-end solves >= 2x
+  the all-optimizations-off configuration — the acceptance criteria of
+  the vectorized-training-core and cross-batch changes.  On loaded or
+  heavily shared runners the ratios themselves get noisy; set
+  ``REPRO_PERF_FLOOR_SCALE`` (a float in (0, 1], default 1.0) to scale
+  every relative floor down instead of letting the gate flake — e.g.
+  ``REPRO_PERF_FLOOR_SCALE=0.8`` accepts 80% of each floor.
 * **Absolute regression** (against the checked-in baseline, with 2x
   slack for host variance): epochs/sec on the batched paths must not
   drop below half the recorded baseline.  Only applied when the two
@@ -20,25 +25,55 @@ Usage::
 from __future__ import annotations
 
 import json
+import os
 import sys
 
 MIN_UNITS_SPEEDUP = 3.0
+MIN_SUITE_SPEEDUP = 2.0
 MIN_E2E_SPEEDUP = 2.0
 MAX_REGRESSION = 2.0  # current must be >= baseline / MAX_REGRESSION
 
 
+def floor_scale() -> float:
+    """Relative-floor override for loaded runners (env-tunable)."""
+    raw = os.environ.get("REPRO_PERF_FLOOR_SCALE", "1.0")
+    try:
+        scale = float(raw)
+    except ValueError as exc:
+        raise SystemExit(
+            f"REPRO_PERF_FLOOR_SCALE must be a float, got {raw!r}"
+        ) from exc
+    if not 0.0 < scale <= 1.0:
+        raise SystemExit(
+            f"REPRO_PERF_FLOOR_SCALE must be in (0, 1], got {scale}"
+        )
+    return scale
+
+
 def check(current: dict, baseline: dict) -> list[str]:
     failures: list[str] = []
-    units_speedup = current["units"]["speedup"]
-    if units_speedup < MIN_UNITS_SPEEDUP:
+    scale = floor_scale()
+    if scale != 1.0:
+        print(f"note: relative floors scaled by REPRO_PERF_FLOOR_SCALE={scale}")
+    if "suite" not in current:
         failures.append(
-            f"units speedup {units_speedup:.2f}x < required {MIN_UNITS_SPEEDUP}x"
+            "record has no 'suite' section — regenerate it with the "
+            "current benchmarks/bench_perf.py"
         )
-    e2e_speedup = current["end_to_end"]["speedup"]
-    if e2e_speedup < MIN_E2E_SPEEDUP:
-        failures.append(
-            f"end-to-end speedup {e2e_speedup:.2f}x < required {MIN_E2E_SPEEDUP}x"
+    floors = [
+        ("units", current["units"]["speedup"], MIN_UNITS_SPEEDUP),
+        ("end-to-end", current["end_to_end"]["speedup"], MIN_E2E_SPEEDUP),
+    ]
+    if "suite" in current:
+        floors.append(
+            ("suite cross-batch", current["suite"]["speedup"], MIN_SUITE_SPEEDUP)
         )
+    for label, got, floor in floors:
+        required = floor * scale
+        if got < required:
+            failures.append(
+                f"{label} speedup {got:.2f}x < required {required:.2f}x"
+            )
     if current.get("quick") != baseline.get("quick"):
         print(
             "note: size mismatch (quick flags differ); skipping the "
@@ -48,7 +83,10 @@ def check(current: dict, baseline: dict) -> list[str]:
     for section, metric in (
         ("units", "batched_epochs_per_sec"),
         ("gcln", "vectorized_epochs_per_sec"),
+        ("suite", "stacked_epochs_per_sec"),
     ):
+        if section not in baseline or section not in current:
+            continue  # record from before this section existed
         base = baseline[section][metric]
         cur = current[section][metric]
         if cur < base / MAX_REGRESSION:
@@ -75,6 +113,7 @@ def main(argv: list[str]) -> int:
             "perf gate ok: "
             f"units {current['units']['speedup']:.1f}x, "
             f"gcln {current['gcln']['speedup']:.1f}x, "
+            f"suite {current['suite']['speedup']:.1f}x, "
             f"end-to-end {current['end_to_end']['speedup']:.1f}x"
         )
     return 1 if failures else 0

@@ -60,6 +60,41 @@ def _silent(_event: Event) -> None:
     """Default event sink: drop everything."""
 
 
+def solve_result_from_inference(result) -> SolveResult:
+    """Package an engine :class:`~repro.infer.pipeline.InferenceResult`
+    as the registry-wide :class:`SolveResult` schema.
+
+    Shared by :class:`GCLNSolver` and the cross-problem batcher
+    (:mod:`repro.infer.batcher`), which drives engines directly.
+    """
+    loops = []
+    for loop in result.loops:
+        loops.append(
+            LoopReport(
+                loop_index=loop.loop_index,
+                invariant=format_formula(loop.invariant),
+                sound_atoms=[str(a) for a in loop.sound_atoms],
+                candidate_atoms=[str(a) for a in loop.candidate_atoms],
+                rejected_atoms=[
+                    [atom, reason] for atom, reason in loop.rejected_atoms
+                ],
+                ground_truth_implied=loop.ground_truth_implied,
+            )
+        )
+    return SolveResult(
+        solver=GCLNSolver.name,
+        problem=result.problem_name,
+        solved=result.solved,
+        runtime_seconds=result.runtime_seconds,
+        attempts=result.attempts,
+        loops=loops,
+        notes=list(result.notes),
+        stage_timings=dict(result.stage_timings),
+        cache_stats=dict(result.cache_stats),
+        raw=result,
+    )
+
+
 class GCLNSolver:
     """The full G-CLN pipeline (:class:`~repro.infer.pipeline.InferenceEngine`)."""
 
@@ -76,33 +111,7 @@ class GCLNSolver:
         from repro.infer.pipeline import InferenceEngine
 
         engine = InferenceEngine(problem, config, cache=cache, events=events)
-        result = engine.run()
-        loops = []
-        for loop in result.loops:
-            loops.append(
-                LoopReport(
-                    loop_index=loop.loop_index,
-                    invariant=format_formula(loop.invariant),
-                    sound_atoms=[str(a) for a in loop.sound_atoms],
-                    candidate_atoms=[str(a) for a in loop.candidate_atoms],
-                    rejected_atoms=[
-                        [atom, reason] for atom, reason in loop.rejected_atoms
-                    ],
-                    ground_truth_implied=loop.ground_truth_implied,
-                )
-            )
-        return SolveResult(
-            solver=self.name,
-            problem=problem.name,
-            solved=result.solved,
-            runtime_seconds=result.runtime_seconds,
-            attempts=result.attempts,
-            loops=loops,
-            notes=list(result.notes),
-            stage_timings=dict(result.stage_timings),
-            cache_stats=dict(result.cache_stats),
-            raw=result,
-        )
+        return solve_result_from_inference(engine.run())
 
 
 class _BaselineSolver:
@@ -357,14 +366,14 @@ class PlainCLNSolver(_BaselineSolver):
 
     def _candidates(self, problem, config, loop_index, states, cache, timings, notes):
         from repro.errors import TrainingError
-        from repro.infer.stages import build_matrix, collect_states
+        from repro.infer.stages import build_matrix, collect_states, derive_loop_rng
 
         # Reuse the engine's memoized matrix stage so a service cache
         # shares term matrices between this baseline and the G-CLN.
         with timed_stage(timings, "collect"):
             dataset = collect_states(problem, config, None, cache)
             bundle = build_matrix(problem, config, dataset, loop_index, cache)
-        rng = np.random.default_rng(self.seed * 1000 + loop_index)
+        rng = derive_loop_rng(self.seed, loop_index)
         atoms: list[Atom] = list(bundle.degenerate)
         try:
             with timed_stage(timings, "train"):

@@ -153,6 +153,7 @@ class InvariantService:
         jobs: int = 1,
         timeout_seconds: float | None = None,
         progress: Callable[["ProblemRecord"], None] | None = None,
+        cross_batch: int = 1,
     ) -> list["ProblemRecord"]:
         """Batch-solve a suite through the runner, one record per problem.
 
@@ -162,14 +163,22 @@ class InvariantService:
         ``jobs == 1`` every solve runs in-process through
         :meth:`solve`, sharing the service cache and streaming the full
         event feed.  With ``jobs > 1`` the problems fan out over a
-        process pool (each worker builds its own solver and cache);
-        per-stage timings come back inside each record's result, and
+        process pool; each worker builds its own solver and in-memory
+        cache, but when the service cache spills to disk
+        (``cache_dir``) every worker shares that on-disk store.
+        Per-stage timings come back inside each record's result, and
         only the completion events stream live.
+
+        ``cross_batch > 1`` (G-CLN only, single process) trains
+        same-shape attempts from *different* problems in one stacked
+        call (:mod:`repro.infer.batcher`), sharing the service cache
+        and streaming the full event feed; the per-problem timeout is
+        then soft (checked between training rounds).
         """
         from repro.infer.runner import STATUS_OK, run_many
 
         get_solver(solver)  # fail fast on unknown names, before any work
-        inline = jobs == 1
+        inline = jobs == 1 and cross_batch <= 1
 
         def on_record(record: "ProblemRecord") -> None:
             # Inline ok-records already emitted ProblemSolved via
@@ -204,6 +213,14 @@ class InvariantService:
                 if inline
                 else None
             ),
+            cross_batch=cross_batch,
+            cache_dir=(
+                str(self.cache.cache_dir)
+                if self.cache.cache_dir is not None
+                else None
+            ),
+            cache=self.cache if cross_batch > 1 else None,
+            events=self.bus.emit if cross_batch > 1 else None,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -347,8 +347,11 @@ class Tensor:
                 self._push(b @ grad)
                 other._push(np.outer(a, grad))
             else:
-                self._push(grad @ b.T)
-                other._push(a.T @ grad)
+                # swapaxes(-1, -2) equals .T for 2-D operands and keeps
+                # batch axes in place for stacked (N-D) matmuls; _push
+                # reduces any broadcast batch axes back to the operand.
+                self._push(grad @ b.swapaxes(-1, -2))
+                other._push(a.swapaxes(-1, -2) @ grad)
 
         return Tensor._result(data, (self, other), backward, forward)
 
@@ -438,6 +441,23 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             self._push(np.asarray(grad).T)
+
+        return Tensor._result(data, (self,), backward, forward)
+
+    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        """Exchange two axes (a view, like ``np.swapaxes``).
+
+        The N-D counterpart of :attr:`T` for stacked batches: e.g.
+        ``(models, units, terms) -> (models, terms, units)`` ahead of a
+        batched matmul.
+        """
+        data = self.data.swapaxes(axis1, axis2)
+
+        def forward() -> None:
+            pass  # always a view of self.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._push(np.asarray(grad).swapaxes(axis1, axis2))
 
         return Tensor._result(data, (self,), backward, forward)
 

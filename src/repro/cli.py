@@ -160,6 +160,19 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
         raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
     if args.timeout is not None and args.timeout <= 0:
         raise SystemExit(f"--timeout must be positive, got {args.timeout}")
+    if args.cross_batch < 1:
+        raise SystemExit(
+            f"--cross-batch must be >= 1, got {args.cross_batch}"
+        )
+    if args.cross_batch > 1 and args.jobs > 1:
+        raise SystemExit(
+            "--cross-batch and --jobs are mutually exclusive: cross-problem "
+            "batches amortize training within one process"
+        )
+    if args.cross_batch > 1 and args.solver != "gcln":
+        raise SystemExit(
+            f"--cross-batch requires the gcln solver, got {args.solver!r}"
+        )
     try:
         problems = suite_problems(args.suite, args.problems or None)
     except ReproError as exc:
@@ -189,9 +202,22 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             timeout_seconds=args.timeout,
             progress=progress,
+            cross_batch=args.cross_batch,
         )
     except ReproError as exc:
         raise SystemExit(str(exc)) from exc
+    if args.timeout is not None and any(
+        not r.timeout_enforced for r in records
+    ):
+        # One warning for the whole run, not one per problem: the
+        # degradation is a property of the platform, not of a record.
+        print(
+            f"warning: --timeout {args.timeout:g} could not be enforced on "
+            "this platform (no SIGALRM or solving off the main thread); "
+            "affected problems ran without a budget "
+            "(timeout_enforced=false in their records)",
+            file=sys.stderr,
+        )
     stats = summarize(records)
     rows = [
         [
@@ -229,6 +255,7 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
                 "suite": args.suite,
                 "solver": args.solver,
                 "jobs": args.jobs,
+                "cross_batch": args.cross_batch,
                 "timeout_seconds": args.timeout,
                 "summary": stats,
                 "records": [r.to_dict() for r in records],
@@ -341,11 +368,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1, help="worker processes"
     )
     all_parser.add_argument(
+        "--cross-batch",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "train up to N same-shape models from different problems in "
+            "one stacked call (gcln only, single process; same invariants "
+            "as sequential solving)"
+        ),
+    )
+    all_parser.add_argument(
         "--timeout",
         type=float,
         default=None,
         metavar="SECONDS",
-        help="per-problem wall-clock budget",
+        help=(
+            "per-problem wall-clock budget (soft — checked between "
+            "training rounds — with --cross-batch > 1)"
+        ),
     )
     all_parser.add_argument(
         "--epochs", type=int, default=2000, help="training epochs per attempt"

@@ -35,7 +35,12 @@ kept as a deprecated shim that delegates to the service.
 from repro.infer.problem import Problem, parse_ground_truth
 from repro.infer.config import InferenceConfig
 from repro.infer.schedule import AttemptPlan, AttemptScheduler, build_schedule
-from repro.infer.pipeline import InferenceEngine, InferenceResult, infer_invariants
+from repro.infer.pipeline import (
+    InferenceEngine,
+    InferenceResult,
+    TrainRequest,
+    infer_invariants,
+)
 from repro.infer.runner import ProblemRecord, run_many, summarize
 
 __all__ = [
@@ -47,6 +52,7 @@ __all__ = [
     "build_schedule",
     "InferenceEngine",
     "InferenceResult",
+    "TrainRequest",
     "infer_invariants",
     "ProblemRecord",
     "run_many",

@@ -20,6 +20,7 @@ from __future__ import annotations
 import time
 import warnings
 from dataclasses import dataclass, field
+from typing import Generator
 
 import numpy as np
 
@@ -47,7 +48,53 @@ from repro.smt.simplify import simplify
 from repro.infer.config import InferenceConfig
 from repro.infer.problem import Problem
 from repro.infer.schedule import AttemptScheduler
-from repro.infer.stages import build_matrix, collect_states, instantiate_fractional
+from repro.infer.stages import (
+    build_matrix,
+    collect_states,
+    derive_loop_rng,
+    instantiate_fractional,
+)
+
+
+@dataclass
+class TrainRequest:
+    """One pending G-CLN training call, yielded by ``run_stepwise``.
+
+    The engine suspends at each training step so a driver can decide
+    *how* to run it: :meth:`InferenceEngine.run` executes requests
+    immediately via :func:`execute_train_request`, while the
+    cross-problem batcher (:mod:`repro.infer.batcher`) collects
+    same-shape requests from several engines and trains them in one
+    stacked call.  The driver responds with one
+    :class:`~repro.cln.train.RestartOutcome` per model, in order.
+    """
+
+    problem: str
+    loop_index: int
+    models: list[GCLN]
+    data: np.ndarray
+
+    @property
+    def batchable(self) -> bool:
+        """Can these models join a cross-problem stacked batch?"""
+        return all(
+            m.batched_capable() and m.config.vectorized for m in self.models
+        )
+
+
+def execute_train_request(request: TrainRequest) -> list[RestartOutcome]:
+    """Run one training request inline (no cross-problem batching)."""
+    models = request.models
+    if len(models) > 1 and request.batchable:
+        return train_gcln_restarts(models, request.data)
+    outcomes: list[RestartOutcome] = []
+    for model in models:
+        try:
+            train_gcln(model, request.data)
+            outcomes.append(RestartOutcome(result=None))
+        except TrainingError as exc:
+            outcomes.append(RestartOutcome(result=None, error=str(exc)))
+    return outcomes
 
 
 @dataclass
@@ -160,6 +207,30 @@ class InferenceEngine:
             self._events(event)
 
     def run(self) -> InferenceResult:
+        """Run the full workflow, executing training steps inline."""
+        gen = self.run_stepwise()
+        try:
+            request = next(gen)
+            while True:
+                request = gen.send(execute_train_request(request))
+        except StopIteration as stop:
+            return stop.value
+
+    def run_stepwise(
+        self,
+    ) -> Generator[TrainRequest, list[RestartOutcome], InferenceResult]:
+        """The workflow as a generator that suspends at training calls.
+
+        Yields a :class:`TrainRequest` for every G-CLN training step
+        and expects the driver to ``send`` back one outcome per model;
+        everything else (trace collection, bound fitting, extraction,
+        checking, scheduling) runs inside the generator.  The return
+        value is the same :class:`InferenceResult` ``run()`` produces.
+        Under the cross-problem batcher the "train" stage timing spans
+        the suspension, so it includes the shared stacked call (which
+        also trains other problems' models): per-problem train timings
+        overlap and may sum to more than wall-clock.
+        """
         problem = self.problem
         config = self.config
         program = problem.program
@@ -235,7 +306,7 @@ class InferenceEngine:
                 # Build one model per scheduled attempt in the batch.
                 entries: list[tuple] = []  # (plan, rng, model | None)
                 for plan in batch:
-                    rng = np.random.default_rng(plan.seed * 1000 + loop_index)
+                    rng = derive_loop_rng(plan.seed, loop_index)
                     gcln_config = config.gcln_for_attempt(plan.dropout)
                     try:
                         model = GCLN(
@@ -254,23 +325,16 @@ class InferenceEngine:
 
                 models = [m for _, _, m in entries if m is not None]
                 outcomes: dict[int, RestartOutcome] = {}
-                with timed_stage(timings, "train"):
-                    if len(models) > 1 and all(
-                        m.batched_capable() and m.config.vectorized
-                        for m in models
-                    ):
-                        batch_outcomes = train_gcln_restarts(models, data)
-                        for model, outcome in zip(models, batch_outcomes):
-                            outcomes[id(model)] = outcome
-                    else:
-                        for model in models:
-                            try:
-                                train_gcln(model, data)
-                                outcomes[id(model)] = RestartOutcome(result=None)
-                            except TrainingError as exc:
-                                outcomes[id(model)] = RestartOutcome(
-                                    result=None, error=str(exc)
-                                )
+                if models:
+                    with timed_stage(timings, "train"):
+                        batch_outcomes = yield TrainRequest(
+                            problem=problem.name,
+                            loop_index=loop_index,
+                            models=models,
+                            data=data,
+                        )
+                    for model, outcome in zip(models, batch_outcomes):
+                        outcomes[id(model)] = outcome
 
                 for plan, rng, model in entries:
                     eq_atoms: list[Atom] = []

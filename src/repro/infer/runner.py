@@ -13,8 +13,20 @@ run-all`` CLI, and solver comparisons share one result format
 
 Timeouts are enforced *inside* the worker with ``SIGALRM`` (POSIX), so
 a timed-out problem frees its pool slot immediately instead of
-poisoning the pool; on platforms without ``SIGALRM`` the timeout is
-not enforced.
+poisoning the pool.  On platforms without ``SIGALRM`` (or off the main
+thread) the timeout **cannot** be enforced: the run proceeds without a
+budget and every affected record carries ``timeout_enforced=False`` so
+callers (e.g. the CLI) can surface the degradation instead of silently
+pretending the budget was applied.
+
+With ``cache_dir`` set, every worker opens its own
+:class:`~repro.sampling.cache.TraceCache` spilling to that directory,
+so parallel runs share the on-disk trace/matrix store (the spill's
+``tempfile.mkstemp`` + ``os.replace`` writes are concurrency-safe).
+
+``cross_batch > 1`` switches to single-process cross-problem training
+batches (:func:`repro.infer.batcher.run_cross_batched`): same-shape
+attempts from different problems train in one stacked call.
 """
 
 from __future__ import annotations
@@ -29,6 +41,7 @@ from typing import Callable, Sequence
 from repro.api.solver import SolveResult, get_solver
 from repro.infer.config import InferenceConfig
 from repro.infer.problem import Problem
+from repro.sampling.cache import TraceCache
 
 # A pluggable solve step: (problem, config) -> SolveResult.  The
 # default goes through the solver registry; InvariantService passes a
@@ -53,6 +66,10 @@ class ProblemRecord:
             :class:`~repro.api.solver.SolveResult` schema regardless
             of which registered solver ran.
         error: error description for ``"timeout"`` / ``"error"``.
+        timeout_enforced: False when a timeout was requested but the
+            platform could not enforce it (no ``SIGALRM``, or solving
+            off the main thread) — the problem ran without a budget.
+            True when the budget was applied or none was requested.
     """
 
     name: str
@@ -60,6 +77,7 @@ class ProblemRecord:
     runtime_seconds: float = 0.0
     result: SolveResult | None = None
     error: str | None = None
+    timeout_enforced: bool = True
 
     @property
     def solved(self) -> bool:
@@ -73,6 +91,7 @@ class ProblemRecord:
             "runtime_seconds": self.runtime_seconds,
             "result": self.result.to_dict() if self.result is not None else None,
             "error": self.error,
+            "timeout_enforced": self.timeout_enforced,
         }
 
 
@@ -81,10 +100,13 @@ class _Timeout(Exception):
 
 
 def _solve_via_registry(
-    solver: str, problem: Problem, config: InferenceConfig | None
+    solver: str,
+    problem: Problem,
+    config: InferenceConfig | None,
+    cache: TraceCache | None = None,
 ) -> SolveResult:
     """Default solve step: instantiate the named solver and run it."""
-    return get_solver(solver).solve(problem, config=config)
+    return get_solver(solver).solve(problem, config=config, cache=cache)
 
 
 def _run_one(
@@ -93,15 +115,20 @@ def _run_one(
     timeout_seconds: float | None,
     solver: str = "gcln",
     solve_fn: SolveFn | None = None,
+    cache_dir: str | None = None,
 ) -> ProblemRecord:
     """Run one problem with an optional SIGALRM-enforced timeout.
 
     This is the unit of work shipped to pool workers; it must stay a
     module-level function so it pickles (``solve_fn`` closures are
     inline-only — pool workers always dispatch via ``solver`` name).
+    With ``cache_dir`` set (and no ``solve_fn``), the solver gets a
+    fresh :class:`TraceCache` spilling to that directory, so workers
+    share the on-disk store even though each has its own memory cache.
     """
     start = time.perf_counter()
-    use_alarm = timeout_seconds is not None and hasattr(signal, "SIGALRM")
+    timeout_requested = timeout_seconds is not None
+    use_alarm = timeout_requested and hasattr(signal, "SIGALRM")
     previous_handler = None
     previous_timer = (0.0, 0.0)
     if use_alarm:
@@ -116,6 +143,10 @@ def _run_one(
         except ValueError:
             # Not in the main thread; run without enforcement.
             use_alarm = False
+    # A requested-but-unenforceable budget is a silent degradation
+    # unless recorded: every record from this call says whether the
+    # budget actually applied.
+    enforced = use_alarm or not timeout_requested
 
     def _disarm() -> None:
         if use_alarm:
@@ -129,13 +160,19 @@ def _run_one(
             if solve_fn is not None:
                 result = solve_fn(problem, config)
             else:
-                result = _solve_via_registry(solver, problem, config)
+                cache = (
+                    TraceCache(cache_dir=cache_dir)
+                    if cache_dir is not None
+                    else None
+                )
+                result = _solve_via_registry(solver, problem, config, cache)
             _disarm()
             return ProblemRecord(
                 name=problem.name,
                 status=STATUS_OK,
                 runtime_seconds=time.perf_counter() - start,
                 result=result,
+                timeout_enforced=enforced,
             )
         except _Timeout:
             raise
@@ -146,6 +183,7 @@ def _run_one(
                 status=STATUS_ERROR,
                 runtime_seconds=time.perf_counter() - start,
                 error=f"{type(exc).__name__}: {exc}\n{traceback.format_exc(limit=5)}",
+                timeout_enforced=enforced,
             )
     except _Timeout:
         return ProblemRecord(
@@ -173,6 +211,10 @@ def run_many(
     progress: Callable[[ProblemRecord], None] | None = None,
     solver: str = "gcln",
     solve_fn: SolveFn | None = None,
+    cross_batch: int = 1,
+    cache_dir: str | None = None,
+    cache: TraceCache | None = None,
+    events=None,
 ) -> list[ProblemRecord]:
     """Run a registered solver on every problem, optionally in parallel.
 
@@ -180,7 +222,8 @@ def run_many(
         problems: the problems to run.
         config: shared inference config (``None`` = paper defaults).
         jobs: worker processes; ``1`` runs inline in this process.
-        timeout_seconds: per-problem wall-clock budget.
+        timeout_seconds: per-problem wall-clock budget (soft under
+            ``cross_batch > 1``; see :mod:`repro.infer.batcher`).
         progress: called with each record as it completes (completion
             order, which differs from input order when ``jobs > 1``).
         solver: registry name of the strategy to run; unknown names
@@ -193,6 +236,19 @@ def run_many(
         solve_fn: inline-only override of the solve step (used by
             :class:`~repro.api.service.InvariantService` to share its
             cache/event bus); requires ``jobs == 1``.
+        cross_batch: > 1 enables cross-problem training batches: up to
+            this many same-shape models from different problems train
+            in one stacked call.  Single-process and engine-only
+            (requires ``jobs == 1``, ``solver == "gcln"``, and no
+            ``solve_fn``); produces the same invariants as sequential
+            solving.
+        cache_dir: on-disk trace/matrix spill directory handed to every
+            worker (and to inline registry solves), so parallel runs
+            share the disk cache; ignored when ``solve_fn`` or
+            ``cache`` supplies caching instead.
+        cache: shared in-memory cache for the ``cross_batch`` path
+            (the service passes its own).
+        events: event sink for the ``cross_batch`` path.
 
     Returns:
         One record per problem, in input order, regardless of
@@ -204,17 +260,49 @@ def run_many(
         raise ValueError(
             f"timeout_seconds must be positive, got {timeout_seconds}"
         )
+    if cross_batch < 1:
+        raise ValueError(f"cross_batch must be >= 1, got {cross_batch}")
     if solve_fn is not None and jobs != 1:
         raise ValueError("solve_fn requires jobs == 1 (it does not pickle)")
+    if cross_batch > 1:
+        if jobs != 1:
+            raise ValueError(
+                "cross_batch requires jobs == 1: cross-problem batches "
+                "amortize training within one process (use jobs OR "
+                "cross_batch, not both)"
+            )
+        if solver != "gcln":
+            raise ValueError(
+                "cross_batch requires solver='gcln': only the G-CLN "
+                "engine trains models that can batch across problems"
+            )
+        if solve_fn is not None:
+            raise ValueError("cross_batch and solve_fn are mutually exclusive")
     if solve_fn is None:
         get_solver(solver)  # fail fast on unknown names
     if not problems:
         return []
 
+    if cross_batch > 1:
+        from repro.infer.batcher import run_cross_batched
+
+        return run_cross_batched(
+            problems,
+            config,
+            cross_batch=cross_batch,
+            timeout_seconds=timeout_seconds,
+            progress=progress,
+            cache=cache,
+            cache_dir=cache_dir,
+            events=events,
+        )
+
     if jobs == 1:
         records = []
         for problem in problems:
-            record = _run_one(problem, config, timeout_seconds, solver, solve_fn)
+            record = _run_one(
+                problem, config, timeout_seconds, solver, solve_fn, cache_dir
+            )
             if progress is not None:
                 progress(record)
             records.append(record)
@@ -224,7 +312,8 @@ def run_many(
     with ProcessPoolExecutor(max_workers=min(jobs, len(problems))) as pool:
         futures = {
             pool.submit(
-                _run_one, problem, config, timeout_seconds, solver
+                _run_one, problem, config, timeout_seconds, solver, None,
+                cache_dir,
             ): index
             for index, problem in enumerate(problems)
         }

@@ -68,6 +68,16 @@ class MatrixBundle:
     degenerate: tuple[Atom, ...]
 
 
+def derive_loop_rng(seed: int, loop_index: int) -> np.random.Generator:
+    """Per-loop model/weight-init RNG derived from an attempt seed.
+
+    The one copy of the ``seed * 1000 + loop_index`` derivation shared
+    by the engine and the baseline solvers, so a future change to the
+    seed scheme cannot drift between them.
+    """
+    return np.random.default_rng(seed * 1000 + loop_index)
+
+
 def collect_states(
     problem: Problem,
     config: InferenceConfig,

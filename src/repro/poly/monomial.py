@@ -108,6 +108,21 @@ class Monomial:
     def __hash__(self) -> int:
         return self._hash
 
+    def __getstate__(self) -> tuple[tuple[tuple[str, int], ...]]:
+        # Never serialize the cached hash: str hashing is randomized
+        # per process (PYTHONHASHSEED), so a pickled hash from another
+        # process (e.g. the TraceCache disk spill) would disagree with
+        # freshly built equal monomials here, silently breaking every
+        # dict/set lookup that mixes the two.  The state is wrapped in
+        # a 1-tuple so it is never falsy — pickle protocols 0/1 skip
+        # __setstate__ entirely for a falsy state, and the constant
+        # monomial's powers are the empty tuple.
+        return (self._powers,)
+
+    def __setstate__(self, state: tuple[tuple[tuple[str, int], ...]]) -> None:
+        (self._powers,) = state
+        self._hash = hash(self._powers)
+
     def __iter__(self) -> Iterator[tuple[str, int]]:
         return iter(self._powers)
 

@@ -95,7 +95,8 @@ class CacheStats:
 
 # Bump when cached value layouts change; baked into every disk key so
 # stale spills from older code are ignored rather than unpickled.
-_DISK_FORMAT_VERSION = 1
+# v2: Monomial no longer serializes its cached (per-process) hash.
+_DISK_FORMAT_VERSION = 2
 
 
 class TraceCache:

@@ -171,3 +171,63 @@ def test_profile_command(capsys, tmp_path):
         assert stage in out
     assert "TOTAL" in out
     assert "disk_hits" in out
+
+
+def test_run_all_cross_batch_validation():
+    with pytest.raises(SystemExit, match="cross-batch"):
+        main(["run-all", "--cross-batch", "0"])
+    with pytest.raises(SystemExit, match="mutually exclusive"):
+        main(["run-all", "--cross-batch", "2", "--jobs", "2"])
+    with pytest.raises(SystemExit, match="gcln"):
+        main(["run-all", "--cross-batch", "2", "--solver", "numinv"])
+
+
+@pytest.mark.slow
+def test_run_all_cross_batch_command(capsys, tmp_path):
+    import json
+
+    out_path = tmp_path / "records.json"
+    code = main(
+        [
+            "run-all",
+            "--suite",
+            "stability",
+            "--problems",
+            "conj_eq",
+            "disj_eq",
+            "--cross-batch",
+            "2",
+            "--epochs",
+            "300",
+            "--json",
+            str(out_path),
+        ]
+    )
+    assert code in (0, 1)
+    payload = json.loads(out_path.read_text())
+    assert payload["cross_batch"] == 2
+    assert {r["name"] for r in payload["records"]} == {"conj_eq", "disj_eq"}
+    assert all(r["status"] == "ok" for r in payload["records"])
+
+
+def test_run_all_warns_once_on_unenforceable_timeout(capsys, monkeypatch):
+    import signal
+
+    monkeypatch.delattr(signal, "SIGALRM")
+    code = main(
+        [
+            "run-all",
+            "--suite",
+            "stability",
+            "--problems",
+            "conj_eq",
+            "--epochs",
+            "60",
+            "--timeout",
+            "600",
+        ]
+    )
+    assert code in (0, 1)
+    err = capsys.readouterr().err
+    assert err.count("could not be enforced") == 1
+    assert "timeout_enforced=false" in err

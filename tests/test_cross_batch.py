@@ -1,0 +1,307 @@
+"""Tests for cross-problem training batches.
+
+Three layers: the models-stacked trainer (per-model data matrices in
+one graph, bitwise-equal to solo training), the cross-problem batcher
+driving several engines' ``run_stepwise`` generators, and the
+``run_many(cross_batch=N)`` / service plumbing — including the
+acceptance guarantee that cross-batched suite runs produce exactly the
+invariants sequential solving produces.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.cln.model import GCLN, GCLNConfig, GCLNStack
+from repro.cln.train import train_gcln, train_gcln_restarts
+from repro.errors import TrainingError
+from repro.infer import InferenceConfig, Problem
+from repro.infer.runner import STATUS_OK, STATUS_TIMEOUT, run_many
+from repro.sampling import normalize_rows
+
+FAST_CONFIG = InferenceConfig(max_epochs=60, dropout_schedule=(0.6,))
+
+
+def tiny_problem(name: str, step: int = 1) -> Problem:
+    return Problem(
+        name=name,
+        source=f"""
+program {name};
+input n;
+assume (n >= 0);
+i = 0; x = 0;
+while (i < n) {{ i = i + 1; x = x + {step}; }}
+""",
+        train_inputs=[{"n": v} for v in range(0, 8)],
+        max_degree=1,
+        ground_truth={0: [f"x == {step} * i"]},
+    )
+
+
+def _relation_data(seed: int, n: int = 12) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    xs = np.arange(1, n + 1, dtype=float) + rng.normal(scale=0.01, size=n)
+    return normalize_rows(
+        np.stack([np.ones_like(xs), xs, 2 * xs, xs * xs], axis=1)
+    )
+
+
+def _eq_model(seed: int, epochs: int = 300) -> GCLN:
+    config = GCLNConfig(n_clauses=3, max_epochs=epochs, dropout_rate=0.2)
+    return GCLN(4, config, np.random.default_rng(seed), protected_terms=[0])
+
+
+# -- models-stacked trainer ---------------------------------------------------
+
+
+def test_stacked_per_model_data_matches_solo_exactly():
+    """Acceptance: R models x R data matrices in one stacked graph
+    produce bitwise the parameters solo training produces."""
+    seeds = (1, 2, 3)
+    datas = [_relation_data(100 + s) for s in seeds]
+    batch = [_eq_model(s) for s in seeds]
+    solo = [_eq_model(s) for s in seeds]
+    outcomes = train_gcln_restarts(batch, datas)
+    for outcome, stacked, alone, data in zip(outcomes, batch, solo, datas):
+        reference = train_gcln(alone, data)
+        assert outcome.error is None
+        assert outcome.result.epochs == reference.epochs
+        assert outcome.result.final_loss == reference.final_loss
+        np.testing.assert_array_equal(
+            stacked.unit_weights.data, alone.unit_weights.data
+        )
+        np.testing.assert_array_equal(
+            stacked.and_gates.data, alone.and_gates.data
+        )
+        np.testing.assert_array_equal(
+            stacked.or_gates_stacked.data, alone.or_gates_stacked.data
+        )
+        np.testing.assert_array_equal(stacked.unit_masks, alone.unit_masks)
+
+
+def test_stacked_early_stop_is_per_model():
+    """Models early-stop at their own epochs and freeze exactly there."""
+    seeds = (1, 5, 9)
+    datas = [_relation_data(100 + s) for s in seeds]
+    batch = [_eq_model(s, epochs=1500) for s in seeds]
+    solo = [_eq_model(s, epochs=1500) for s in seeds]
+    outcomes = train_gcln_restarts(batch, datas, early_stop_patience=60)
+    epochs = set()
+    for outcome, stacked, alone, data in zip(outcomes, batch, solo, datas):
+        reference = train_gcln(alone, data, early_stop_patience=60)
+        assert outcome.result.epochs == reference.epochs
+        epochs.add(outcome.result.epochs)
+        np.testing.assert_array_equal(
+            stacked.unit_weights.data, alone.unit_weights.data
+        )
+    assert len(epochs) > 1  # they genuinely stopped at different epochs
+
+
+def test_mixed_shape_matrices_fall_back_to_per_model_leaves():
+    datas = [_relation_data(7, n=10), _relation_data(8, n=14)]
+    batch = [_eq_model(2, epochs=200), _eq_model(3, epochs=200)]
+    solo = [_eq_model(2, epochs=200), _eq_model(3, epochs=200)]
+    outcomes = train_gcln_restarts(batch, datas)
+    for outcome, stacked, alone, data in zip(outcomes, batch, solo, datas):
+        reference = train_gcln(alone, data)
+        assert outcome.error is None
+        assert outcome.result.epochs == reference.epochs
+        np.testing.assert_array_equal(
+            stacked.unit_weights.data, alone.unit_weights.data
+        )
+
+
+def test_three_dimensional_batch_form():
+    stacked = np.stack([_relation_data(1), _relation_data(2)])
+    outcomes = train_gcln_restarts(
+        [_eq_model(1, epochs=100), _eq_model(2, epochs=100)], stacked
+    )
+    assert all(o.error is None for o in outcomes)
+
+
+def test_matrix_count_must_match_models():
+    with pytest.raises(TrainingError, match="matrices"):
+        train_gcln_restarts(
+            [_eq_model(1), _eq_model(2)], [_relation_data(1)]
+        )
+
+
+def test_bad_data_type_rejected():
+    with pytest.raises(TrainingError, match="2-D matrix"):
+        train_gcln_restarts([_eq_model(1)], {"not": "data"})
+
+
+def test_stack_requires_matching_signatures():
+    small = _eq_model(1)
+    big_config = GCLNConfig(n_clauses=3, max_epochs=300, sigma=0.5)
+    big = GCLN(4, big_config, np.random.default_rng(2), protected_terms=[0])
+    with pytest.raises(TrainingError, match="stack signature"):
+        GCLNStack([small, big])
+
+
+def test_stack_rebinds_storage_to_views():
+    models = [_eq_model(1), _eq_model(2)]
+    stack = GCLNStack(models)
+    stack.unit_weights.data[0, 0, 0] = 42.0
+    assert models[0].unit_weights.data[0, 0] == 42.0
+    assert models[0].units_flat[0].weight.data[0] == 42.0
+    models[1].and_gates.data[:] = 0.25
+    assert np.all(stack.and_gates.data[1] == 0.25)
+
+
+# -- run_many(cross_batch=N) --------------------------------------------------
+
+
+def test_cross_batch_matches_sequential_invariants():
+    """Acceptance: cross-batched suite run == sequential run, per
+    problem, invariant for invariant."""
+    names = [("a", 2), ("b", 3), ("c", 5)]
+    config = InferenceConfig(max_epochs=150, dropout_schedule=(0.6, 0.7))
+    sequential = run_many(
+        [tiny_problem(n, s) for n, s in names], config, jobs=1
+    )
+    crossed = run_many(
+        [tiny_problem(n, s) for n, s in names], config, cross_batch=4
+    )
+    for seq, cross in zip(sequential, crossed):
+        assert seq.status == cross.status == STATUS_OK
+        assert seq.solved == cross.solved
+        assert seq.result.attempts == cross.result.attempts
+        seq_loops = seq.result.to_dict()["loops"]
+        cross_loops = cross.result.to_dict()["loops"]
+        assert [l["invariant"] for l in seq_loops] == [
+            l["invariant"] for l in cross_loops
+        ]
+        assert [l["sound_atoms"] for l in seq_loops] == [
+            l["sound_atoms"] for l in cross_loops
+        ]
+
+
+@pytest.mark.slow
+def test_cross_batch_matches_sequential_on_nla_suite():
+    """Acceptance on real benchmarks: a cross-batched nla subset yields
+    exactly the invariants sequential solving yields."""
+    from repro.bench import nla_problem
+
+    names = ["ps2", "ps3", "sqrt1"]
+    config = InferenceConfig(max_epochs=400)
+    sequential = run_many([nla_problem(n) for n in names], config, jobs=1)
+    crossed = run_many(
+        [nla_problem(n) for n in names], config, cross_batch=4
+    )
+    for seq, cross in zip(sequential, crossed):
+        assert seq.status == cross.status == STATUS_OK
+        assert seq.solved == cross.solved
+        assert seq.result.attempts == cross.result.attempts
+        assert [l["invariant"] for l in seq.result.to_dict()["loops"]] == [
+            l["invariant"] for l in cross.result.to_dict()["loops"]
+        ]
+
+
+def test_cross_batch_groups_same_shape_problems(monkeypatch):
+    """Same-shape first attempts from different problems train in one
+    stacked call with per-model matrices."""
+    import repro.infer.batcher as batcher_mod
+
+    calls = []
+    original = batcher_mod.train_gcln_restarts
+
+    def spy(models, data, *args, **kwargs):
+        calls.append((len(models), isinstance(data, list)))
+        return original(models, data, *args, **kwargs)
+
+    monkeypatch.setattr(batcher_mod, "train_gcln_restarts", spy)
+    problems = [tiny_problem(f"p{k}", k + 2) for k in range(3)]
+    records = run_many(
+        problems,
+        InferenceConfig(max_epochs=80, dropout_schedule=(0.6,)),
+        cross_batch=8,
+    )
+    assert all(r.status == STATUS_OK for r in records)
+    assert any(n > 1 and per_model for n, per_model in calls), calls
+
+
+def test_cross_batch_soft_timeout(monkeypatch):
+    """The soft budget retires over-budget problems between rounds."""
+    import repro.infer.batcher as batcher_mod
+
+    original_execute = batcher_mod.execute_train_request
+    original_restarts = batcher_mod.train_gcln_restarts
+
+    def slow_execute(request):
+        time.sleep(0.4)
+        return original_execute(request)
+
+    def slow_restarts(models, data, *args, **kwargs):
+        time.sleep(0.4)
+        return original_restarts(models, data, *args, **kwargs)
+
+    monkeypatch.setattr(batcher_mod, "execute_train_request", slow_execute)
+    monkeypatch.setattr(batcher_mod, "train_gcln_restarts", slow_restarts)
+
+    def never_solved(name: str, step: int) -> Problem:
+        problem = tiny_problem(name, step)
+        # Unimplied ground truth: the scheduler keeps retrying, so the
+        # budget check between rounds gets a chance to fire.
+        return Problem(
+            name=problem.name,
+            source=problem.source,
+            train_inputs=problem.train_inputs,
+            max_degree=1,
+            ground_truth={0: ["x == 99 * i + 7"]},
+        )
+
+    config = InferenceConfig(max_epochs=60, dropout_schedule=(0.6, 0.7, 0.5))
+    problems = [never_solved("slowa", 2), never_solved("slowb", 3)]
+    records = run_many(problems, config, cross_batch=4, timeout_seconds=0.2)
+    assert all(r.status == STATUS_TIMEOUT for r in records)
+    assert all("timed out" in r.error for r in records)
+    assert all(r.runtime_seconds < 30 for r in records)
+
+
+def test_cross_batch_isolates_problem_errors():
+    bad = Problem(
+        name="noloop",
+        source="program noloop;\ninput n;\nx = n;",
+        train_inputs=[{"n": 1}],
+    )
+    records = run_many(
+        [bad, tiny_problem("fine", 2)], FAST_CONFIG, cross_batch=2
+    )
+    assert records[0].status == "error"
+    assert "InferenceError" in records[0].error
+    assert records[1].status == STATUS_OK
+
+
+def test_cross_batch_validation():
+    problems = [tiny_problem("x")]
+    with pytest.raises(ValueError, match="cross_batch"):
+        run_many(problems, FAST_CONFIG, cross_batch=0)
+    with pytest.raises(ValueError, match="jobs"):
+        run_many(problems, FAST_CONFIG, cross_batch=2, jobs=2)
+    with pytest.raises(ValueError, match="gcln"):
+        run_many(
+            problems, FAST_CONFIG, cross_batch=2, solver="guess_and_check"
+        )
+    with pytest.raises(ValueError, match="solve_fn"):
+        run_many(
+            problems,
+            FAST_CONFIG,
+            cross_batch=2,
+            solve_fn=lambda p, c: None,
+        )
+
+
+def test_service_solve_many_cross_batch_emits_events():
+    from repro.api import InvariantService, ProblemSolved
+
+    service = InvariantService(FAST_CONFIG)
+    solved_events = []
+    service.subscribe(solved_events.append, kinds=(ProblemSolved,))
+    records = service.solve_many(
+        [tiny_problem("sa", 2), tiny_problem("sb", 3)], cross_batch=2
+    )
+    assert [r.status for r in records] == [STATUS_OK, STATUS_OK]
+    assert len(solved_events) == 2
+    assert {e.problem for e in solved_events} == {"sa", "sb"}

@@ -99,3 +99,56 @@ def test_product_degree_adds(p1, p2):
 def test_division_inverts_multiplication(p1, p2):
     a, b = Monomial(p1), Monomial(p2)
     assert (a * b) / b == a
+
+
+def test_pickle_roundtrip_rehashes_across_hash_seeds(tmp_path):
+    """A monomial pickled under another process's PYTHONHASHSEED must
+    hash like a freshly built equal monomial here.
+
+    Regression: Monomial cached ``hash(self._powers)`` in a slot and
+    the default slot pickling preserved it, so TraceCache disk spills
+    written by another process carried stale hashes — equal monomials
+    then missed every dict/set lookup and cached benchmark reruns
+    silently produced different invariants.
+    """
+    import os
+    import pickle
+    import subprocess
+    import sys
+
+    script = (
+        "import pickle, sys\n"
+        "from repro.poly.monomial import Monomial\n"
+        "with open(sys.argv[1], 'wb') as handle:\n"
+        "    pickle.dump(Monomial({'x': 2, 'y': 1}), handle)\n"
+    )
+    fresh = Monomial({"x": 2, "y": 1})
+    # Two distinct explicit seeds: at most one can coincide with this
+    # process's randomized seed.
+    for seed in ("1", "2"):
+        path = tmp_path / f"mono_{seed}.pkl"
+        env = dict(os.environ, PYTHONHASHSEED=seed)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(p) for p in sys.path if p] 
+        )
+        subprocess.run(
+            [sys.executable, "-c", script, str(path)], env=env, check=True
+        )
+        with open(path, "rb") as handle:
+            loaded = pickle.load(handle)
+        assert loaded == fresh
+        assert hash(loaded) == hash(fresh)
+        assert loaded in {fresh}
+        assert {loaded: 1}[fresh] == 1
+
+
+def test_pickle_roundtrip_all_protocols_including_constant():
+    """Protocols 0/1 skip __setstate__ for falsy states; the constant
+    monomial's state must therefore never be falsy."""
+    import pickle
+
+    for protocol in range(pickle.HIGHEST_PROTOCOL + 1):
+        for mono in (Monomial.one(), Monomial({"x": 2, "y": 1})):
+            loaded = pickle.loads(pickle.dumps(mono, protocol=protocol))
+            assert loaded == mono
+            assert hash(loaded) == hash(mono)

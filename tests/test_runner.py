@@ -65,7 +65,7 @@ def test_run_many_records_errors_without_aborting_batch():
 def test_run_many_honors_timeout(monkeypatch):
     """A problem exceeding the budget is recorded as a timeout."""
 
-    def slow_solve(solver, problem, config):
+    def slow_solve(solver, problem, config, cache=None):
         time.sleep(30)
 
     monkeypatch.setattr(runner_module, "_solve_via_registry", slow_solve)
@@ -150,3 +150,69 @@ def test_run_many_rejects_non_positive_timeout():
 def test_solved_property_guards_missing_result():
     record = ProblemRecord(name="x", status=STATUS_TIMEOUT)
     assert not record.solved
+
+
+def test_parallel_workers_share_disk_cache(tmp_path):
+    """--cache-dir reaches pool workers: a second parallel run recovers
+    traces/matrices from the shared spill instead of recomputing."""
+    cache_dir = str(tmp_path / "spill")
+    problems = lambda: [tiny_problem("ca", 2), tiny_problem("cb", 3)]  # noqa: E731
+    first = run_many(problems(), FAST_CONFIG, jobs=2, cache_dir=cache_dir)
+    assert all(r.status == STATUS_OK for r in first)
+    second = run_many(problems(), FAST_CONFIG, jobs=2, cache_dir=cache_dir)
+    assert all(r.status == STATUS_OK for r in second)
+    hits = [r.result.cache_stats["disk_hits"] for r in second]
+    assert all(h > 0 for h in hits), hits
+    # Recovered entries must not change behavior: the warm run solves
+    # exactly like the cold one (regression: pickled Monomial hashes).
+    for cold, warm in zip(first, second):
+        assert cold.solved == warm.solved
+        assert cold.result.attempts == warm.result.attempts
+
+
+def test_inline_run_honors_cache_dir(tmp_path):
+    cache_dir = str(tmp_path / "spill")
+    run_many([tiny_problem("ia")], FAST_CONFIG, jobs=1, cache_dir=cache_dir)
+    second = run_many(
+        [tiny_problem("ia")], FAST_CONFIG, jobs=1, cache_dir=cache_dir
+    )
+    assert second[0].result.cache_stats["disk_hits"] > 0
+
+
+def test_pool_timeout_records_status_and_sane_runtime():
+    """Under jobs > 1 the in-worker alarm produces timeout records with
+    runtimes near the budget, not the full solve."""
+    slow_config = InferenceConfig(max_epochs=500_000, dropout_schedule=(0.6,))
+    start = time.perf_counter()
+    records = run_many(
+        [tiny_problem("t1"), tiny_problem("t2", step=2)],
+        slow_config,
+        jobs=2,
+        timeout_seconds=1.0,
+    )
+    elapsed = time.perf_counter() - start
+    assert [r.status for r in records] == [STATUS_TIMEOUT, STATUS_TIMEOUT]
+    assert all(r.timeout_enforced for r in records)
+    assert all(0.5 < r.runtime_seconds < 20 for r in records)
+    assert elapsed < 60
+
+
+def test_unenforceable_timeout_is_recorded(monkeypatch):
+    """No SIGALRM (e.g. Windows): the run proceeds but the record says
+    the budget was not applied."""
+    import signal
+
+    monkeypatch.delattr(signal, "SIGALRM")
+    records = run_many(
+        [tiny_problem("noalarm")], FAST_CONFIG, jobs=1, timeout_seconds=5.0
+    )
+    assert records[0].status == STATUS_OK
+    assert records[0].timeout_enforced is False
+    payload = records[0].to_dict()
+    assert payload["timeout_enforced"] is False
+
+
+def test_timeout_enforced_defaults_true_without_budget():
+    records = run_many([tiny_problem("nobudget")], FAST_CONFIG, jobs=1)
+    assert records[0].timeout_enforced is True
+    assert records[0].to_dict()["timeout_enforced"] is True
