@@ -16,7 +16,7 @@ from repro.bench.code2inv import code2inv_suite
 from repro.infer import InferenceConfig
 from repro.utils import format_table
 
-from benchmarks.conftest import full_mode
+from benchmarks.conftest import batch_kwargs, full_mode
 
 # Which registered solver to benchmark; the linear suite is also a good
 # yardstick for the baselines (e.g. REPRO_BENCH_SOLVER=numinv).
@@ -31,11 +31,12 @@ def test_code2inv_linear_suite(benchmark, emit):
         max_epochs=900,
         dropout_schedule=(0.4, 0.6),
     )
-    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
     service = InvariantService(config)
 
     def run():
-        records = service.solve_many(problems, solver=_SOLVER, jobs=jobs)
+        records = service.solve_many(
+            problems, solver=_SOLVER, **batch_kwargs(f"code2inv-{_SOLVER}")
+        )
         times = [r.runtime_seconds for r in records]
         solved = sum(1 for r in records if r.solved)
         slowest = max(times, default=0.0)

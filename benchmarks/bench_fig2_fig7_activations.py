@@ -49,7 +49,6 @@ def test_fig2_cln_truth_curve(benchmark, emit):
         )
     )
     # Shape assertions: high on satisfying set, low elsewhere.
-    curve = dict(zip(np.round(xs, 2), values))
     assert _fig2_curve(np.array([1.0]))[0] > 0.9
     assert _fig2_curve(np.array([2.5]))[0] > 0.9
     assert _fig2_curve(np.array([5.2]))[0] > 0.9

@@ -12,7 +12,7 @@ import pytest
 
 from repro.cln.extract import extract_formula
 from repro.cln.model import AtomicKind, AtomicUnit, GCLN, GCLNConfig
-from repro.sampling import build_term_basis, evaluate_terms
+from repro.sampling import build_term_basis
 from repro.smt import format_formula
 
 

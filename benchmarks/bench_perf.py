@@ -32,7 +32,6 @@ import argparse
 import json
 import platform
 import time
-from dataclasses import replace
 
 import numpy as np
 

@@ -21,8 +21,6 @@ pipeline), plus G-CLN runtime.
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
 from repro.api import InvariantService
@@ -30,7 +28,7 @@ from repro.bench.nla import NLA_PROBLEMS, nla_suite
 from repro.infer import InferenceConfig
 from repro.utils import format_table
 
-from benchmarks.conftest import full_mode
+from benchmarks.conftest import batch_kwargs, full_mode
 
 _QUICK_SUBSET = [
     "mannadiv",
@@ -58,18 +56,22 @@ def test_table2_nla(benchmark, emit):
 
         # Paper-default budget: solved problems exit after 1-2 attempts,
         # so only failures pay the full 4-attempt cost.  Both columns go
-        # through the service's batch path; REPRO_BENCH_JOBS fans them
+        # through the service's batch path; REPRO_BENCH_JOBS (process
+        # pool) or REPRO_BENCH_WORKERS (distributed queue) fans them
         # out over worker processes.
         problems = nla_suite([e.name for e in entries])
-        jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
         service = InvariantService(InferenceConfig())
         records = {
             r.name: r
-            for r in service.solve_many(problems, solver="gcln", jobs=jobs)
+            for r in service.solve_many(
+                problems, solver="gcln", **batch_kwargs("table2-gcln")
+            )
         }
         numinv_records = {
             r.name: r
-            for r in service.solve_many(problems, solver="numinv", jobs=jobs)
+            for r in service.solve_many(
+                problems, solver="numinv", **batch_kwargs("table2-numinv")
+            )
         }
         for entry in entries:
             record = records[entry.name]

@@ -7,6 +7,13 @@ Environment knobs:
   The default uses representative subsets and reduced repetitions so
   the whole suite finishes in tens of minutes while preserving the
   tables' *shape*.
+* ``REPRO_BENCH_JOBS=N`` — fan suite benchmarks out over a process
+  pool on this host.
+* ``REPRO_BENCH_WORKERS=N`` — fan suite benchmarks out over the
+  distributed queue runner instead (N local workers; overrides
+  ``REPRO_BENCH_JOBS``).  With ``REPRO_BENCH_QUEUE_DIR=PATH`` the
+  queues are durable, so an interrupted ``REPRO_BENCH_FULL`` run
+  resumes instead of starting over.
 """
 
 from __future__ import annotations
@@ -18,6 +25,23 @@ import pytest
 
 def full_mode() -> bool:
     return os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+
+def batch_kwargs(label: str) -> dict:
+    """``solve_many`` fan-out arguments from the environment.
+
+    ``label`` keeps durable queues of different benchmark passes (e.g.
+    the gcln and numinv columns of Table 2) apart: item ids embed only
+    the problem index, so two passes must never share one queue.
+    """
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+    if workers > 1:
+        kwargs: dict = {"workers": workers}
+        queue_base = os.environ.get("REPRO_BENCH_QUEUE_DIR", "")
+        if queue_base:
+            kwargs["queue_dir"] = os.path.join(queue_base, label)
+        return kwargs
+    return {"jobs": int(os.environ.get("REPRO_BENCH_JOBS", "1"))}
 
 
 @pytest.fixture

@@ -154,6 +154,8 @@ class InvariantService:
         timeout_seconds: float | None = None,
         progress: Callable[["ProblemRecord"], None] | None = None,
         cross_batch: int = 1,
+        workers: int = 1,
+        queue_dir: str | None = None,
     ) -> list["ProblemRecord"]:
         """Batch-solve a suite through the runner, one record per problem.
 
@@ -174,11 +176,20 @@ class InvariantService:
         call (:mod:`repro.infer.batcher`), sharing the service cache
         and streaming the full event feed; the per-problem timeout is
         then soft (checked between training rounds).
+
+        ``workers > 1`` (or any value with ``queue_dir``) fans the
+        suite out over the distributed runner (:mod:`repro.dist`):
+        local worker processes drain a journaled work queue, each
+        running its own service over the same on-disk cache spill as
+        this one (when this service has a ``cache_dir``).  With a
+        durable ``queue_dir`` a re-run resumes: journaled problems are
+        not re-solved.  Mutually exclusive with ``jobs``.
         """
         from repro.infer.runner import STATUS_OK, run_many
 
         get_solver(solver)  # fail fast on unknown names, before any work
-        inline = jobs == 1 and cross_batch <= 1
+        distributed = workers > 1 or queue_dir is not None
+        inline = jobs == 1 and cross_batch <= 1 and not distributed
 
         def on_record(record: "ProblemRecord") -> None:
             # Inline ok-records already emitted ProblemSolved via
@@ -219,8 +230,12 @@ class InvariantService:
                 if self.cache.cache_dir is not None
                 else None
             ),
-            cache=self.cache if cross_batch > 1 else None,
-            events=self.bus.emit if cross_batch > 1 else None,
+            cache=self.cache if cross_batch > 1 and not distributed else None,
+            events=(
+                self.bus.emit if cross_batch > 1 and not distributed else None
+            ),
+            workers=workers,
+            queue_dir=queue_dir,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -64,6 +64,20 @@ class LoopReport:
             "ground_truth_implied": self.ground_truth_implied,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "LoopReport":
+        """Rebuild a report from :meth:`to_dict` output (wire format)."""
+        return cls(
+            loop_index=data["loop_index"],
+            invariant=data["invariant"],
+            sound_atoms=list(data.get("sound_atoms", [])),
+            candidate_atoms=list(data.get("candidate_atoms", [])),
+            rejected_atoms=[
+                list(pair) for pair in data.get("rejected_atoms", [])
+            ],
+            ground_truth_implied=data.get("ground_truth_implied", False),
+        )
+
 
 @dataclass
 class SolveResult:
@@ -120,6 +134,26 @@ class SolveResult:
             "cache_stats": dict(self.cache_stats),
             "loops": [loop.to_dict() for loop in self.loops],
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SolveResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        This is how results come back over process/host boundaries —
+        e.g. the distributed runner's journal; ``raw`` is never
+        serialized, so round-tripped results carry ``raw=None``.
+        """
+        return cls(
+            solver=data["solver"],
+            problem=data["problem"],
+            solved=data["solved"],
+            runtime_seconds=data.get("runtime_seconds", 0.0),
+            attempts=data.get("attempts", 1),
+            loops=[LoopReport.from_dict(d) for d in data.get("loops", [])],
+            notes=list(data.get("notes", [])),
+            stage_timings=dict(data.get("stage_timings", {})),
+            cache_stats=dict(data.get("cache_stats", {})),
+        )
 
 
 # The exact key sets of the wire format, for schema validation.

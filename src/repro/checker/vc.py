@@ -28,7 +28,7 @@ from repro.lang.ast import Expr, Program, While
 from repro.lang.analysis import extract_loop_paths
 from repro.lang.interp import ExecutionTrace
 from repro.sampling.termgen import ExternalTerm
-from repro.smt.formula import TRUE, And, Atom, Formula
+from repro.smt.formula import And, Atom, Formula
 from repro.smt.simplify import simplify
 from repro.checker.bounded import BoundedChecker
 from repro.checker.result import CheckOutcome, CheckReport

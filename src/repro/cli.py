@@ -18,6 +18,12 @@ Commands:
 * ``profile <nla-problem>`` — run one solver and render the per-stage
   wall-clock breakdown (collect/train/extract/check) as a table, so hot
   paths are visible without reading JSON.
+* ``enqueue --queue-dir PATH`` — enqueue a suite on a journaled work
+  queue (items already journaled are skipped, so re-enqueueing a
+  half-finished run is a no-op for the finished part).
+* ``worker --queue-dir PATH`` — drain a work queue: claim, solve, ack,
+  until nothing is pending or claimed.  Run any number of these (on
+  any host sharing the directory) against one queue.
 * ``solvers`` — list the registered solvers.
 * ``list`` — list the available benchmark problems with metadata.
 * ``trace <nla-problem> --inputs k=5`` — execute a benchmark program on
@@ -158,6 +164,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_run_all(args: argparse.Namespace) -> int:
     if args.jobs < 1:
         raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
+    if args.workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {args.workers}")
     if args.timeout is not None and args.timeout <= 0:
         raise SystemExit(f"--timeout must be positive, got {args.timeout}")
     if args.cross_batch < 1:
@@ -172,6 +180,12 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
     if args.cross_batch > 1 and args.solver != "gcln":
         raise SystemExit(
             f"--cross-batch requires the gcln solver, got {args.solver!r}"
+        )
+    distributed = args.workers > 1 or args.queue_dir is not None
+    if distributed and args.jobs > 1:
+        raise SystemExit(
+            "--workers/--queue-dir and --jobs are mutually exclusive: the "
+            "distributed runner spawns its own worker processes"
         )
     try:
         problems = suite_problems(args.suite, args.problems or None)
@@ -203,6 +217,8 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
             timeout_seconds=args.timeout,
             progress=progress,
             cross_batch=args.cross_batch,
+            workers=args.workers,
+            queue_dir=args.queue_dir,
         )
     except ReproError as exc:
         raise SystemExit(str(exc)) from exc
@@ -244,7 +260,11 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
             rows,
             title=(
                 f"run-all — suite {args.suite}, solver {args.solver}, "
-                f"{args.jobs} job(s)"
+                + (
+                    f"{args.workers} worker(s)"
+                    if distributed
+                    else f"{args.jobs} job(s)"
+                )
             ),
         )
     )
@@ -262,6 +282,78 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
             },
         )
     return 0 if stats["solved"] == stats["problems"] else 1
+
+
+def _cmd_enqueue(args: argparse.Namespace) -> int:
+    from repro.dist import enqueue_suite
+
+    if args.cross_batch < 1:
+        raise SystemExit(
+            f"--cross-batch must be >= 1, got {args.cross_batch}"
+        )
+    if args.cross_batch > 1 and args.solver != "gcln":
+        raise SystemExit(
+            f"--cross-batch requires the gcln solver, got {args.solver!r}"
+        )
+    if args.timeout is not None and args.timeout <= 0:
+        raise SystemExit(f"--timeout must be positive, got {args.timeout}")
+    try:
+        queue, added, skipped = enqueue_suite(
+            args.queue_dir,
+            args.suite,
+            args.problems or None,
+            solver=args.solver,
+            config=InferenceConfig(max_epochs=args.epochs),
+            timeout_seconds=args.timeout,
+            cross_batch=args.cross_batch,
+            lease_seconds=args.lease,
+        )
+    except ReproError as exc:
+        raise SystemExit(str(exc)) from exc
+    counts = queue.counts()
+    print(
+        f"enqueued {added} item(s) to {queue.root} "
+        f"({skipped} already queued or journaled)"
+    )
+    print(
+        f"queue:    {counts['pending']} pending, {counts['claimed']} claimed, "
+        f"{counts['journaled']} journaled"
+    )
+    print(f"drain it: python -m repro worker --queue-dir {queue.root}")
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.dist import Worker, WorkQueue
+
+    if args.batch_size is not None and args.batch_size < 1:
+        raise SystemExit(f"--batch-size must be >= 1, got {args.batch_size}")
+    if args.max_items is not None and args.max_items < 1:
+        raise SystemExit(f"--max-items must be >= 1, got {args.max_items}")
+    if args.poll <= 0:
+        raise SystemExit(f"--poll must be positive, got {args.poll}")
+
+    def progress(record) -> None:
+        print(
+            f"[{record.status:>7}] {record.name:<14} "
+            f"{record.runtime_seconds:6.1f}s",
+            flush=True,
+        )
+
+    try:
+        worker = Worker(
+            WorkQueue.open(args.queue_dir),
+            worker_id=args.worker_id,
+            cache_dir=args.cache_dir,
+            batch_size=args.batch_size,
+            poll_seconds=args.poll,
+            progress=progress,
+        )
+        processed = worker.run(max_items=args.max_items)
+    except ReproError as exc:
+        raise SystemExit(str(exc)) from exc
+    print(f"worker {worker.worker_id}: processed {processed} item(s)")
+    return 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -365,7 +457,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict to these problem names",
     )
     all_parser.add_argument(
-        "--jobs", type=int, default=1, help="worker processes"
+        "--jobs", type=int, default=1, help="worker processes (process pool)"
+    )
+    all_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "drain the suite with N queue workers (the distributed "
+            "runner; mutually exclusive with --jobs)"
+        ),
+    )
+    all_parser.add_argument(
+        "--queue-dir",
+        metavar="PATH",
+        help=(
+            "durable work-queue directory for --workers; re-running on a "
+            "half-finished queue resumes it (journaled problems are not "
+            "re-solved).  Default: a private temporary queue"
+        ),
     )
     all_parser.add_argument(
         "--cross-batch",
@@ -402,6 +513,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist traces/term matrices on disk across invocations",
     )
     all_parser.set_defaults(func=_cmd_run_all)
+
+    enqueue_parser = sub.add_parser(
+        "enqueue", help="enqueue a suite on a journaled work queue"
+    )
+    enqueue_parser.add_argument(
+        "--queue-dir", required=True, metavar="PATH",
+        help="work-queue directory (created if missing)",
+    )
+    enqueue_parser.add_argument(
+        "--suite", choices=SUITES, default="nla", help="which suite to enqueue"
+    )
+    enqueue_parser.add_argument(
+        "--problems", nargs="+", metavar="NAME",
+        help="restrict to these problem names",
+    )
+    enqueue_parser.add_argument(
+        "--solver", default="gcln", metavar="NAME",
+        help="registered solver workers should run (default: gcln)",
+    )
+    enqueue_parser.add_argument(
+        "--epochs", type=int, default=2000, help="training epochs per attempt"
+    )
+    enqueue_parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-problem wall-clock budget applied by workers",
+    )
+    enqueue_parser.add_argument(
+        "--cross-batch", type=int, default=1, metavar="N",
+        help=(
+            "workers claim N items at a time and train same-shape models "
+            "in one stacked call (gcln only)"
+        ),
+    )
+    enqueue_parser.add_argument(
+        "--lease", type=float, default=300.0, metavar="SECONDS",
+        help=(
+            "claim lease; items held longer without a renewal are "
+            "re-claimed (crashed-worker recovery; default: 300)"
+        ),
+    )
+    enqueue_parser.set_defaults(func=_cmd_enqueue)
+
+    worker_parser = sub.add_parser(
+        "worker", help="drain a work queue: claim, solve, ack"
+    )
+    worker_parser.add_argument(
+        "--queue-dir", required=True, metavar="PATH",
+        help="work-queue directory to drain",
+    )
+    worker_parser.add_argument(
+        "--cache-dir", metavar="PATH",
+        help="shared on-disk trace-cache spill (same value for all workers)",
+    )
+    worker_parser.add_argument(
+        "--batch-size", type=int, default=None, metavar="N",
+        help="items claimed per round (default: the queue's cross-batch, or 1)",
+    )
+    worker_parser.add_argument(
+        "--max-items", type=int, default=None, metavar="N",
+        help="exit after processing this many items (default: drain fully)",
+    )
+    worker_parser.add_argument(
+        "--poll", type=float, default=0.5, metavar="SECONDS",
+        help="sleep between claim attempts while other workers hold items",
+    )
+    worker_parser.add_argument(
+        "--worker-id", metavar="NAME",
+        help="identity recorded on claims/journal lines (default: generated)",
+    )
+    worker_parser.set_defaults(func=_cmd_worker)
 
     trace_parser = sub.add_parser("trace", help="dump one execution trace")
     trace_parser.add_argument("problem")

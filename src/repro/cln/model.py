@@ -22,7 +22,7 @@ The extracted SMT formula is therefore in CNF, a conjunction of up to
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from itertools import combinations
 from typing import Sequence
 

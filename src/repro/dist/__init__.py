@@ -1,0 +1,52 @@
+"""Distributed suite execution: journaled work queue + workers.
+
+The distributed runner fans a suite out beyond one process (and, with a
+shared filesystem, beyond one host) through three small pieces:
+
+* :mod:`repro.dist.queue` — a filesystem-backed work queue.  Items are
+  JSON files moved between ``pending/``, ``claimed/``, and ``done/``
+  with atomic renames; finished :class:`~repro.infer.runner.
+  ProblemRecord` payloads append to a ``journal.jsonl``; claims carry a
+  lease so items held by crashed workers are re-claimed.
+* :mod:`repro.dist.worker` — the worker loop: claim a batch, solve it
+  through the :class:`~repro.api.service.InvariantService` (sharing an
+  on-disk trace-cache spill), ack each record, repeat until the queue
+  drains.
+* :mod:`repro.dist.coordinator` — enqueue a suite (skipping journaled
+  items, so resume is free), optionally spawn local workers, wait, and
+  merge the journal into the same payload ``run-all --json`` emits.
+
+Everything rides on the wire formats of the earlier PRs:
+``ProblemRecord.to_dict()`` is the journal line and
+:mod:`repro.dist.wire` round-trips problems/configs/records as JSON.
+"""
+
+from repro.dist.coordinator import (
+    enqueue_suite,
+    merge_payload,
+    run_distributed,
+    wait_for_drain,
+)
+from repro.dist.queue import QueueError, WorkItem, WorkQueue
+from repro.dist.wire import (
+    config_from_dict,
+    config_to_dict,
+    problem_from_dict,
+    problem_to_dict,
+)
+from repro.dist.worker import Worker
+
+__all__ = [
+    "QueueError",
+    "WorkItem",
+    "WorkQueue",
+    "Worker",
+    "config_from_dict",
+    "config_to_dict",
+    "enqueue_suite",
+    "merge_payload",
+    "problem_from_dict",
+    "problem_to_dict",
+    "run_distributed",
+    "wait_for_drain",
+]

@@ -1,0 +1,455 @@
+"""Filesystem-backed, journaled work queue.
+
+One queue is one directory.  Every mutation is an atomic filesystem
+operation, so any number of worker processes (or hosts, over a shared
+filesystem) can claim from the same queue without a broker:
+
+```
+queue-dir/
+├── meta.json        run-wide settings (solver, config, lease, ...)
+├── pending/         one <item-id>.json per unclaimed item
+├── claimed/         items leased to a worker (mtime = lease stamp)
+├── done/            acked items (kept as idempotency markers)
+└── journal.jsonl    append-only finished-record log
+```
+
+* **enqueue** writes ``pending/<id>.json`` via ``mkstemp`` +
+  ``os.replace`` and skips ids that are already anywhere in the queue
+  or the journal — re-enqueueing a half-finished suite is a no-op for
+  the finished part, which is what makes coordinator resume free.
+* **claim** renames ``pending/X`` → ``claimed/X``; the rename is atomic,
+  so exactly one of several racing workers wins each item.  The claimed
+  file's mtime is the lease stamp: a worker renews it by touching the
+  file, and any claim call first *reaps* expired leases back to
+  ``pending/`` so items held by crashed workers are re-run.
+* **ack** atomically renames the item's queue file onto ``done/X`` —
+  of any number of racing ackers (possible after lease-expiry
+  re-claims), exactly one rename wins — then the winner appends the
+  finished payload to ``journal.jsonl`` under an advisory ``flock``.
+  Losers and repeats are no-ops, so acks are idempotent.
+* **journal** writes and reads both tolerate a crash mid-append: a
+  partial *trailing* line is truncated away (by the next appender
+  under the lock, or by a reader), never fatal; corruption anywhere
+  else raises, because that means something other than a mid-write
+  crash damaged the log.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ReproError
+
+try:  # POSIX only; on other platforms journal appends go unlocked.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+DEFAULT_LEASE_SECONDS = 300.0
+
+_META = "meta.json"
+_JOURNAL = "journal.jsonl"
+_TMP_PREFIX = ".tmp-"
+
+
+class QueueError(ReproError):
+    """A work-queue operation failed or the queue is malformed."""
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One claimed queue item: the id plus the enqueued JSON payload."""
+
+    id: str
+    data: dict
+
+
+def _atomic_write_json(path: Path, payload: dict) -> None:
+    fd, tmp = tempfile.mkstemp(
+        prefix=_TMP_PREFIX, suffix=".json", dir=str(path.parent)
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except FileNotFoundError:
+            pass
+        raise
+
+
+def _item_files(directory: Path) -> list[Path]:
+    try:
+        entries = list(os.scandir(directory))
+    except FileNotFoundError:
+        return []
+    return sorted(
+        (Path(e.path) for e in entries
+         if e.name.endswith(".json") and not e.name.startswith(".")),
+        key=lambda p: p.name,
+    )
+
+
+class WorkQueue:
+    """A queue directory handle; see the module docstring for layout."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.pending_dir = self.root / "pending"
+        self.claimed_dir = self.root / "claimed"
+        self.done_dir = self.root / "done"
+        self.journal_path = self.root / _JOURNAL
+        self.meta_path = self.root / _META
+        self._meta: dict | None = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        root: str | Path,
+        *,
+        meta: dict | None = None,
+        lease_seconds: float | None = None,
+    ) -> "WorkQueue":
+        """Create (or re-open) the queue directory, writing ``meta.json``.
+
+        Re-creating an existing queue keeps its items and journal but
+        refreshes the metadata — re-running a coordinator with the same
+        settings on a half-finished queue is the resume path.  The
+        lease, however, is a property of the *queue*: ``None`` (the
+        default) keeps an existing queue's lease instead of resetting
+        it, so a resuming coordinator still reaps the original run's
+        expired claims on schedule.
+        """
+        queue = cls(root)
+        if lease_seconds is None:
+            lease_seconds = DEFAULT_LEASE_SECONDS
+            if queue.meta_path.is_file():
+                try:
+                    existing = json.loads(
+                        queue.meta_path.read_text(encoding="utf-8")
+                    )
+                    lease_seconds = float(
+                        existing.get("lease_seconds", DEFAULT_LEASE_SECONDS)
+                    )
+                except (json.JSONDecodeError, TypeError, ValueError):
+                    pass
+        if lease_seconds <= 0:
+            raise QueueError(
+                f"lease_seconds must be positive, got {lease_seconds}"
+            )
+        for directory in (
+            queue.root, queue.pending_dir, queue.claimed_dir, queue.done_dir
+        ):
+            directory.mkdir(parents=True, exist_ok=True)
+        payload = dict(meta or {})
+        payload["lease_seconds"] = float(lease_seconds)
+        payload.setdefault("created_at", time.time())
+        _atomic_write_json(queue.meta_path, payload)
+        queue._meta = payload
+        return queue
+
+    @classmethod
+    def open(cls, root: str | Path) -> "WorkQueue":
+        """Open an existing queue; raises if ``root`` is not one."""
+        queue = cls(root)
+        if not queue.meta_path.is_file():
+            raise QueueError(
+                f"{root} is not a work queue (no {_META}); create one with "
+                "'python -m repro enqueue --queue-dir ...'"
+            )
+        return queue
+
+    @property
+    def meta(self) -> dict:
+        if self._meta is None:
+            try:
+                self._meta = json.loads(
+                    self.meta_path.read_text(encoding="utf-8")
+                )
+            except FileNotFoundError as exc:
+                raise QueueError(f"{self.root} has no {_META}") from exc
+            except json.JSONDecodeError as exc:
+                raise QueueError(f"corrupt {self.meta_path}: {exc}") from exc
+        return self._meta
+
+    @property
+    def lease_seconds(self) -> float:
+        return float(self.meta.get("lease_seconds", DEFAULT_LEASE_SECONDS))
+
+    # -- enqueue ---------------------------------------------------------------
+
+    def enqueue(self, items: list[dict]) -> tuple[int, int]:
+        """Add items (each needs a unique ``"id"``); returns (new, skipped).
+
+        An item whose id is already pending, claimed, or journaled is
+        skipped, so enqueueing is idempotent and resume never re-runs
+        finished work.  A ``done/`` marker *without* a journal entry
+        (a worker crashed between winning the ack and appending) does
+        NOT block re-enqueueing: the item is re-run, and the fresh ack
+        atomically replaces the stale marker.
+        """
+        seen = self.known_ids()
+        added = skipped = 0
+        for item in items:
+            item_id = item.get("id")
+            if not item_id or not isinstance(item_id, str):
+                raise QueueError(f"queue item needs a string 'id': {item!r}")
+            if "/" in item_id or item_id.startswith("."):
+                raise QueueError(f"invalid item id {item_id!r}")
+            if item_id in seen:
+                skipped += 1
+                continue
+            _atomic_write_json(self.pending_dir / f"{item_id}.json", item)
+            seen.add(item_id)
+            added += 1
+        return added, skipped
+
+    # -- claim / lease ---------------------------------------------------------
+
+    def claim(self, worker: str, limit: int = 1) -> list[WorkItem]:
+        """Claim up to ``limit`` items for ``worker``.
+
+        Expired leases are reaped first, so a crashed worker's items
+        come back automatically.  Racing workers are safe: the
+        pending→claimed rename is atomic and the loser just moves on to
+        the next file.
+        """
+        if limit < 1:
+            raise QueueError(f"claim limit must be >= 1, got {limit}")
+        self.reap_expired()
+        claimed: list[WorkItem] = []
+        for path in _item_files(self.pending_dir):
+            if len(claimed) >= limit:
+                break
+            target = self.claimed_dir / path.name
+            try:
+                os.rename(path, target)
+            except FileNotFoundError:
+                continue  # another worker won this item
+            try:
+                # Start the lease clock now: the rename kept the file's
+                # pending-era mtime, and an item that waited longer
+                # than the lease would otherwise look instantly expired
+                # to a concurrent reaper.  That reaper can still win the
+                # microscopic window before this stamp — then the file
+                # is already back in pending and we just lost the race.
+                os.utime(target, None)
+                data = json.loads(target.read_text(encoding="utf-8"))
+            except FileNotFoundError:
+                continue  # reaped out from under us; someone else's now
+            except (OSError, json.JSONDecodeError) as exc:
+                raise QueueError(f"corrupt queue item {target}: {exc}") from exc
+            data["claimed_by"] = worker
+            data["claimed_at"] = time.time()
+            _atomic_write_json(target, data)  # also stamps the lease mtime
+            claimed.append(WorkItem(id=path.stem, data=data))
+        return claimed
+
+    def renew(self, item_id: str) -> bool:
+        """Extend the lease on a claimed item; False if no longer held."""
+        try:
+            os.utime(self.claimed_dir / f"{item_id}.json", None)
+            return True
+        except FileNotFoundError:
+            return False
+
+    def release(self, item_id: str) -> bool:
+        """Voluntarily return a claimed item to pending (e.g. shutdown)."""
+        try:
+            os.rename(
+                self.claimed_dir / f"{item_id}.json",
+                self.pending_dir / f"{item_id}.json",
+            )
+            return True
+        except FileNotFoundError:
+            return False
+
+    def reap_expired(self) -> int:
+        """Move claims whose lease expired back to pending; returns count."""
+        deadline = time.time() - self.lease_seconds
+        reaped = 0
+        for path in _item_files(self.claimed_dir):
+            try:
+                expired = path.stat().st_mtime < deadline
+            except FileNotFoundError:
+                continue
+            if not expired:
+                continue
+            try:
+                os.rename(path, self.pending_dir / path.name)
+                reaped += 1
+            except FileNotFoundError:
+                continue  # acked or reaped by someone else meanwhile
+        return reaped
+
+    # -- ack / journal ---------------------------------------------------------
+
+    def ack(self, item_id: str, payload: dict, worker: str = "") -> bool:
+        """Record a finished item: mark it done, journal the payload.
+
+        Exactly one of any number of racing ackers journals: the gate
+        is an atomic rename of the item's queue file onto the ``done/``
+        marker, so double-acks — e.g. after a lease expired mid-solve
+        and a second worker finished the re-claimed item — are
+        idempotent without a lock.  The loser's result is discarded
+        (the winner journaled the same item).
+        """
+        done_marker = self.done_dir / f"{item_id}.json"
+        try:
+            # The common case: we still hold the claim.  If another
+            # worker re-claimed the item after our lease expired, this
+            # takes *their* claim file — fine: their later ack then
+            # finds no file and an existing marker, and backs off.
+            os.rename(self.claimed_dir / f"{item_id}.json", done_marker)
+        except FileNotFoundError:
+            if done_marker.exists():
+                return False  # someone already acked this item
+            try:
+                # Our claim was reaped back to pending and nobody has
+                # re-claimed it yet; the work is done, so take it.
+                os.rename(self.pending_dir / f"{item_id}.json", done_marker)
+            except FileNotFoundError:
+                return False  # lost the race at every step; discard
+        return self._append_journal(
+            {
+                # "id" first: _append_journal's dedup scan keys on the
+                # exact line prefix this ordering produces.
+                "id": item_id,
+                "worker": worker,
+                "finished_at": time.time(),
+                "payload": payload,
+            }
+        )
+
+    def _append_journal(self, line: dict) -> bool:
+        data = (json.dumps(line, separators=(",", ":")) + "\n").encode("utf-8")
+        # Every line starts {"id":"<id>", — the dict is built id-first
+        # and compact — so a prefix scan is an exact id-dedup key.
+        needle = (
+            b'{"id":' + json.dumps(line["id"]).encode("utf-8") + b","
+        )
+        # "a+b" (not "ab") so the heal/dedup logic below can read.
+        with open(self.journal_path, "a+b") as handle:
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                handle.seek(0)
+                existing = handle.read()
+                # Self-heal before appending: every complete journal
+                # line ends with a newline (written in one call), so a
+                # file that doesn't has a torn tail from a crashed
+                # appender.  Appending after it would fuse the partial
+                # record with ours into permanent mid-file corruption;
+                # truncating it instead keeps the tear trailing, where
+                # readers already know it means "still claimed, will be
+                # re-run".
+                if existing and not existing.endswith(b"\n"):
+                    keep = existing.rfind(b"\n") + 1
+                    handle.truncate(keep)
+                    existing = existing[:keep]
+                # Last line of duplicate defense: even if two ackers
+                # each won a rename on *different* incarnations of the
+                # item file (a claim resurrected across a reap race),
+                # only one line per id ever lands in the journal.
+                index = existing.find(needle)
+                while index != -1:
+                    if index == 0 or existing[index - 1:index] == b"\n":
+                        return False
+                    index = existing.find(needle, index + 1)
+                handle.write(data)
+                handle.flush()
+                os.fsync(handle.fileno())
+                return True
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+    def journal_entries(self, repair: bool = True) -> list[dict]:
+        """Parsed journal lines, oldest first.
+
+        A corrupted *trailing* line (a worker died mid-append) is
+        dropped — and with ``repair`` truncated from the file — because
+        its item is still claimed/pending and will be re-run.  Corrupt
+        lines elsewhere raise: that is damage, not a crash artifact.
+        """
+        try:
+            raw = self.journal_path.read_bytes()
+        except FileNotFoundError:
+            return []
+        entries: list[dict] = []
+        offset = 0
+        for line in raw.splitlines(keepends=True):
+            stripped = line.strip()
+            if stripped:
+                try:
+                    entries.append(json.loads(stripped))
+                except json.JSONDecodeError as exc:
+                    if raw[offset + len(line):].strip():
+                        raise QueueError(
+                            f"corrupt journal line at byte {offset} of "
+                            f"{self.journal_path}: {exc}"
+                        ) from exc
+                    if repair:
+                        self._truncate_journal(offset, expected_size=len(raw))
+                    break
+            offset += len(line)
+        return entries
+
+    def _truncate_journal(self, offset: int, expected_size: int) -> None:
+        with open(self.journal_path, "r+b") as handle:
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                # Only repair what we actually read: if another worker
+                # appended since, leave the file alone rather than chop
+                # off its line (the next reader will deal with it).
+                handle.seek(0, os.SEEK_END)
+                if handle.tell() == expected_size:
+                    handle.truncate(offset)
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+    def journaled_ids(self) -> set[str]:
+        return {e["id"] for e in self.journal_entries()}
+
+    # -- introspection ---------------------------------------------------------
+
+    def known_ids(self) -> set[str]:
+        """Ids that count as present for enqueue dedup.
+
+        Deliberately excludes ``done/``-only ids: a marker without a
+        journal entry is a crash artifact (the worker died mid-ack) and
+        the item's record is lost, so it must be re-runnable.
+        """
+        ids = self.journaled_ids()
+        for directory in (self.pending_dir, self.claimed_dir):
+            ids.update(p.stem for p in _item_files(directory))
+        return ids
+
+    def counts(self) -> dict[str, int]:
+        return {
+            "pending": len(_item_files(self.pending_dir)),
+            "claimed": len(_item_files(self.claimed_dir)),
+            "done": len(_item_files(self.done_dir)),
+            "journaled": len(self.journal_entries()),
+        }
+
+    def unfinished(self) -> int:
+        """Items still pending or claimed (0 = fully drained)."""
+        return (
+            len(_item_files(self.pending_dir))
+            + len(_item_files(self.claimed_dir))
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WorkQueue({str(self.root)!r}, {self.counts()})"

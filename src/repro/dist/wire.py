@@ -1,0 +1,184 @@
+"""JSON wire formats for the distributed runner.
+
+Queue items must be readable by a worker process that shares nothing
+with the coordinator but the queue directory, so problems and configs
+travel as plain JSON.  Two problem encodings exist:
+
+* ``{"kind": "suite", "suite": "nla", "name": "ps2"}`` — a reference
+  into the benchmark registry; the worker rebuilds the problem via
+  :func:`repro.bench.suite_problems`.  This is what ``python -m repro
+  enqueue`` writes: items stay tiny and always match the worker's
+  registry.
+* ``{"kind": "inline", ...}`` — the full problem definition
+  (:func:`problem_to_dict`), used by ``run_many(workers=N)`` for
+  ad-hoc problems that are not in any suite.
+
+``Fraction`` input values are encoded as ``"num/den"`` strings (the
+same convention the CLI's ``--inputs`` parser uses); JSON object keys
+are strings, so integer-keyed maps (``variables``, ``ground_truth``)
+are re-keyed on decode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, fields
+from fractions import Fraction
+from typing import Any
+
+from repro.errors import ReproError
+from repro.infer.config import InferenceConfig
+from repro.infer.problem import Problem
+from repro.sampling.termgen import ExternalTerm
+
+
+def _encode_value(value: object) -> object:
+    if isinstance(value, Fraction):
+        return f"{value.numerator}/{value.denominator}"
+    if isinstance(value, (bool, int, float)):
+        return value
+    raise ReproError(
+        f"cannot encode input value {value!r} ({type(value).__name__}) as JSON"
+    )
+
+
+def _decode_value(value: object) -> object:
+    if isinstance(value, str):
+        return Fraction(value)
+    return value
+
+
+def _encode_inputs(inputs: list[dict[str, object]]) -> list[dict[str, object]]:
+    return [{k: _encode_value(v) for k, v in row.items()} for row in inputs]
+
+
+def _decode_inputs(inputs: list[dict[str, Any]]) -> list[dict[str, object]]:
+    return [{k: _decode_value(v) for k, v in row.items()} for row in inputs]
+
+
+def problem_to_dict(problem: Problem) -> dict:
+    """Serialize a :class:`Problem` to plain JSON types."""
+    return {
+        "name": problem.name,
+        "source": problem.source,
+        "train_inputs": _encode_inputs(problem.train_inputs),
+        "check_inputs": _encode_inputs(problem.check_inputs),
+        "max_degree": problem.max_degree,
+        "variables": (
+            {str(k): list(v) for k, v in problem.variables.items()}
+            if problem.variables is not None
+            else None
+        ),
+        "externals": [
+            {"func": e.func, "args": list(e.args)} for e in problem.externals
+        ],
+        "learn_inequalities": problem.learn_inequalities,
+        "fractional": problem.fractional,
+        "fractional_vars": (
+            list(problem.fractional_vars)
+            if problem.fractional_vars is not None
+            else None
+        ),
+        "ground_truth": {
+            str(k): list(v) for k, v in problem.ground_truth.items()
+        },
+        "max_states": problem.max_states,
+    }
+
+
+def problem_from_dict(data: dict) -> Problem:
+    """Rebuild a :class:`Problem` from :func:`problem_to_dict` output."""
+    return Problem(
+        name=data["name"],
+        source=data["source"],
+        train_inputs=_decode_inputs(data["train_inputs"]),
+        check_inputs=_decode_inputs(data.get("check_inputs", [])),
+        max_degree=data.get("max_degree", 2),
+        variables=(
+            {int(k): list(v) for k, v in data["variables"].items()}
+            if data.get("variables") is not None
+            else None
+        ),
+        externals=[
+            ExternalTerm(func=e["func"], args=tuple(e["args"]))
+            for e in data.get("externals", [])
+        ],
+        learn_inequalities=data.get("learn_inequalities", False),
+        fractional=data.get("fractional", False),
+        fractional_vars=(
+            list(data["fractional_vars"])
+            if data.get("fractional_vars") is not None
+            else None
+        ),
+        ground_truth={
+            int(k): list(v) for k, v in data.get("ground_truth", {}).items()
+        },
+        max_states=data.get("max_states", 100),
+    )
+
+
+def config_to_dict(config: InferenceConfig) -> dict:
+    """Serialize an :class:`InferenceConfig` (tuples become lists)."""
+    return asdict(config)
+
+
+def _coerce_dataclass(cls, data: dict):
+    kwargs = {}
+    for f in fields(cls):
+        if f.name not in data:
+            continue
+        value = data[f.name]
+        if isinstance(value, list):
+            # Every sequence field on the config dataclasses is a tuple;
+            # JSON round-trips them as lists.
+            value = tuple(value)
+        kwargs[f.name] = value
+    return cls(**kwargs)
+
+
+def config_from_dict(data: dict) -> InferenceConfig:
+    """Rebuild an :class:`InferenceConfig` from :func:`config_to_dict`."""
+    from repro.cln.model import GCLNConfig
+
+    payload = dict(data)
+    gcln = payload.pop("gcln", None)
+    config = _coerce_dataclass(InferenceConfig, payload)
+    if gcln is not None:
+        config.gcln = _coerce_dataclass(GCLNConfig, gcln)
+    return config
+
+
+def item_for_problem(
+    problem: Problem, index: int, suite: str | None = None
+) -> dict:
+    """Build one queue item for ``problem``.
+
+    Item ids embed the input ``index`` so merge restores input order and
+    re-enqueueing the same suite yields the same ids (resume dedups on
+    them).  With ``suite`` given, the item is a registry reference;
+    otherwise the full problem is inlined.
+    """
+    spec: dict[str, Any]
+    if suite is not None:
+        spec = {"kind": "suite", "suite": suite, "name": problem.name}
+    else:
+        spec = {"kind": "inline", **problem_to_dict(problem)}
+    return {
+        "id": f"{index:04d}-{problem.name}",
+        "index": index,
+        "name": problem.name,
+        "problem": spec,
+    }
+
+
+def resolve_item_problem(item: dict) -> Problem:
+    """Rebuild the :class:`Problem` a queue item describes."""
+    spec = item["problem"]
+    kind = spec.get("kind")
+    if kind == "inline":
+        return problem_from_dict(spec)
+    if kind == "suite":
+        from repro.bench import suite_problems
+
+        matches = suite_problems(spec["suite"], [spec["name"]])
+        return matches[0]
+    raise ReproError(f"unknown queue item problem kind {kind!r}")

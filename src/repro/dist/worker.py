@@ -1,0 +1,177 @@
+"""The distributed worker: claim → solve → ack, until the queue drains.
+
+A worker owns one :class:`~repro.api.service.InvariantService` for its
+whole life, so every claim batch shares the same bounded trace cache —
+and when the queue's coordinator supplied a ``cache_dir``, every worker
+process spills to the *same* on-disk store (the spill writes are
+``mkstemp`` + atomic-rename, so concurrent workers are safe; see PR 3).
+
+The queue's ``meta.json`` is authoritative for *how* to solve (solver,
+config, per-problem timeout, cross-batch width): every worker reads the
+same settings, which is what makes a two-worker drain equivalent to a
+sequential run.  Workers only choose *scheduling* knobs: how many items
+to claim per batch and how often to poll.
+
+A worker exits when the queue is fully drained (nothing pending or
+claimed).  While other workers still hold claims it waits — if one of
+them crashed, the lease expires and the item comes back to pending,
+so a surviving worker finishes the suite.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+import uuid
+from typing import Callable
+
+from repro.api.service import InvariantService
+from repro.dist.queue import WorkItem, WorkQueue
+from repro.dist.wire import config_from_dict, resolve_item_problem
+from repro.infer.runner import STATUS_ERROR, ProblemRecord
+
+DEFAULT_POLL_SECONDS = 0.5
+
+
+def default_worker_id() -> str:
+    """A human-traceable unique id: host, pid, and a random suffix."""
+    return (
+        f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+    )
+
+
+class Worker:
+    """One worker process draining one queue.
+
+    Args:
+        queue: the queue to drain (or a path to one).
+        worker_id: identity recorded on claims and journal lines.
+        cache_dir: on-disk trace-cache spill shared with other workers.
+        batch_size: items claimed per round; defaults to the queue's
+            ``cross_batch`` width (so cross-problem training batches
+            form naturally within a claim) or 1.
+        poll_seconds: sleep between claim attempts while other workers
+            still hold items.
+        progress: called with each finished :class:`ProblemRecord`.
+    """
+
+    def __init__(
+        self,
+        queue: WorkQueue | str,
+        *,
+        worker_id: str | None = None,
+        cache_dir: str | None = None,
+        batch_size: int | None = None,
+        poll_seconds: float = DEFAULT_POLL_SECONDS,
+        progress: Callable[[ProblemRecord], None] | None = None,
+    ):
+        self.queue = queue if isinstance(queue, WorkQueue) else WorkQueue.open(queue)
+        self.worker_id = worker_id or default_worker_id()
+        self.poll_seconds = poll_seconds
+        self.progress = progress
+        meta = self.queue.meta
+        self.solver = meta.get("solver", "gcln")
+        self.timeout_seconds = meta.get("timeout_seconds")
+        self.cross_batch = int(meta.get("cross_batch", 1) or 1)
+        if batch_size is None:
+            batch_size = self.cross_batch if self.cross_batch > 1 else 1
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.batch_size = batch_size
+        config_data = meta.get("config")
+        config = (
+            config_from_dict(config_data) if config_data is not None else None
+        )
+        self.service = InvariantService(config, cache_dir=cache_dir)
+
+    def run(self, max_items: int | None = None) -> int:
+        """Drain the queue; returns the number of items this worker acked.
+
+        Stops when the queue is empty (pending *and* claimed) or after
+        ``max_items``.  While other workers hold claims, waits for them
+        to finish or for their leases to expire.
+        """
+        processed = 0
+        while max_items is None or processed < max_items:
+            limit = self.batch_size
+            if max_items is not None:
+                limit = min(limit, max_items - processed)
+            batch = self.queue.claim(self.worker_id, limit=limit)
+            if not batch:
+                if self.queue.unfinished() == 0:
+                    break
+                time.sleep(self.poll_seconds)
+                continue
+            processed += self._process(batch)
+        return processed
+
+    def _process(self, batch: list[WorkItem]) -> int:
+        """Solve one claim batch and ack every item in it."""
+        problems = []
+        resolved: list[WorkItem] = []
+        for item in batch:
+            try:
+                problems.append(resolve_item_problem(item.data))
+                resolved.append(item)
+            except Exception as exc:  # noqa: BLE001 — a bad item must not wedge the queue
+                self._ack(
+                    item,
+                    ProblemRecord(
+                        name=item.data.get("name", item.id),
+                        status=STATUS_ERROR,
+                        error=f"cannot resolve queue item: {exc}",
+                    ),
+                )
+        if not resolved:
+            return len(batch)
+
+        def renew_leases(_record: ProblemRecord) -> None:
+            # A finished problem proves this worker is alive; stretch
+            # the lease on everything still held for this batch.
+            for item in resolved:
+                self.queue.renew(item.id)
+
+        cross = (
+            self.cross_batch
+            if len(resolved) > 1 and self.solver == "gcln"
+            else 1
+        )
+        records = self.service.solve_many(
+            problems,
+            solver=self.solver,
+            timeout_seconds=self.timeout_seconds,
+            progress=renew_leases,
+            cross_batch=min(cross, len(resolved)),
+        )
+        for item, record in zip(resolved, records):
+            self._ack(item, record)
+        return len(batch)
+
+    def _ack(self, item: WorkItem, record: ProblemRecord) -> None:
+        self.queue.ack(
+            item.id,
+            {"index": item.data.get("index"), "record": record.to_dict()},
+            worker=self.worker_id,
+        )
+        if self.progress is not None:
+            self.progress(record)
+
+
+def worker_main(
+    queue_dir: str,
+    cache_dir: str | None = None,
+    worker_id: str | None = None,
+    batch_size: int | None = None,
+    max_items: int | None = None,
+    poll_seconds: float = DEFAULT_POLL_SECONDS,
+) -> int:
+    """Module-level worker entry point (used as a process target)."""
+    worker = Worker(
+        WorkQueue.open(queue_dir),
+        worker_id=worker_id,
+        cache_dir=cache_dir,
+        batch_size=batch_size,
+        poll_seconds=poll_seconds,
+    )
+    return worker.run(max_items=max_items)

@@ -39,7 +39,6 @@ from dataclasses import dataclass
 from typing import Callable, Generator, Sequence
 
 from repro.cln.train import RestartOutcome, train_gcln_restarts
-from repro.errors import TrainingError
 from repro.infer.config import InferenceConfig
 from repro.infer.pipeline import (
     InferenceEngine,
@@ -176,6 +175,34 @@ def run_cross_batched(
                 ),
             )
 
+    def train_and_advance(entry: _ActiveProblem) -> None:
+        """Run one entry's training request inline, safely.
+
+        The request executes in this frame, not inside the engine
+        generator, so ``advance``'s catch cannot see its failures; a
+        training crash (degenerate matrix, allocation failure, ...)
+        must become *this* problem's error record — parity with the
+        per-problem catch of ``_run_one`` — not abort the whole suite.
+        """
+        try:
+            outcomes = execute_train_request(entry.pending)
+        except Exception as exc:  # noqa: BLE001 — one problem must not kill the suite
+            entry.gen.close()
+            finish(
+                entry,
+                ProblemRecord(
+                    name=entry.problem.name,
+                    status=STATUS_ERROR,
+                    runtime_seconds=time.perf_counter() - entry.start,
+                    error=(
+                        f"{type(exc).__name__}: {exc}\n"
+                        f"{traceback.format_exc(limit=5)}"
+                    ),
+                ),
+            )
+            return
+        advance(entry, outcomes)
+
     def check_timeout(entry: _ActiveProblem) -> None:
         if timeout_seconds is None or entry.record is not None:
             return
@@ -219,19 +246,19 @@ def run_cross_batched(
             else:
                 singles.append(entry)
         for entry in singles:
-            advance(entry, execute_train_request(entry.pending))
+            train_and_advance(entry)
         for members in groups.values():
             chunk: list[_ActiveProblem] = []
             total = 0
             for entry in members:
                 size = len(entry.pending.models)
                 if chunk and total + size > cross_batch:
-                    _train_chunk(chunk, advance)
+                    _train_chunk(chunk, advance, train_and_advance)
                     chunk, total = [], 0
                 chunk.append(entry)
                 total += size
             if chunk:
-                _train_chunk(chunk, advance)
+                _train_chunk(chunk, advance, train_and_advance)
         for entry in active:
             check_timeout(entry)
 
@@ -241,17 +268,18 @@ def run_cross_batched(
 def _train_chunk(
     members: list[_ActiveProblem],
     advance: Callable[[_ActiveProblem, list[RestartOutcome] | None], None],
+    train_one: Callable[[_ActiveProblem], None],
 ) -> None:
     """Train one same-shape chunk and resume its engines.
 
-    A one-member chunk runs through :func:`execute_train_request`, the
-    exact inline path — so ``cross_batch=1`` (or a lone problem) is
+    A one-member chunk runs through ``train_one``, the exact inline
+    path — so ``cross_batch=1`` (or a lone problem) is
     indistinguishable from sequential solving.  Larger chunks stack
     every member's models into one :func:`train_gcln_restarts` call
     with per-model data matrices; outcomes are sliced back per member.
     """
     if len(members) == 1:
-        advance(members[0], execute_train_request(members[0].pending))
+        train_one(members[0])
         return
     models = []
     matrices = []
@@ -263,11 +291,13 @@ def _train_chunk(
         sizes.append(len(request.models))
     try:
         flat = train_gcln_restarts(models, matrices)
-    except TrainingError:
-        # Defensive: a chunk that cannot train together (e.g. a model
-        # turned out not stackable) falls back to the inline path.
+    except Exception:  # noqa: BLE001 — a shared call must not sink the chunk
+        # Defensive: a chunk that cannot train together (a model turned
+        # out not stackable, or one member's data breaks the stacked
+        # call) falls back to the per-member inline path, where an
+        # individual failure becomes that problem's error record.
         for entry in members:
-            advance(entry, execute_train_request(entry.pending))
+            train_one(entry)
         return
     offset = 0
     for entry, size in zip(members, sizes):

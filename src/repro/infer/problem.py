@@ -4,14 +4,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Mapping, Sequence
 
 from repro.errors import InferenceError
 from repro.lang.ast import Program
 from repro.lang.parser import parse_expr, parse_program
 from repro.sampling.termgen import ExternalTerm
 from repro.smt.convert import expr_to_formula
-from repro.smt.formula import Atom, Formula
+from repro.smt.formula import Atom
 
 
 @dataclass

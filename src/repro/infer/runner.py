@@ -27,6 +27,13 @@ so parallel runs share the on-disk trace/matrix store (the spill's
 ``cross_batch > 1`` switches to single-process cross-problem training
 batches (:func:`repro.infer.batcher.run_cross_batched`): same-shape
 attempts from different problems train in one stacked call.
+
+``workers > 1`` (or ``queue_dir``) switches to the distributed runner
+(:mod:`repro.dist`): problems are enqueued on a journaled filesystem
+work queue and drained by separate worker processes — the same queue
+any number of ``python -m repro worker`` processes can share, across
+hosts on a shared filesystem.  A durable ``queue_dir`` makes re-runs
+resume instead of re-solving.
 """
 
 from __future__ import annotations
@@ -93,6 +100,24 @@ class ProblemRecord:
             "error": self.error,
             "timeout_enforced": self.timeout_enforced,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProblemRecord":
+        """Rebuild a record from :meth:`to_dict` output.
+
+        ``to_dict`` is the wire format the distributed runner journals;
+        this is the receiving end (the derived ``solved`` key is
+        recomputed from the embedded result, not trusted).
+        """
+        result = data.get("result")
+        return cls(
+            name=data["name"],
+            status=data["status"],
+            runtime_seconds=data.get("runtime_seconds", 0.0),
+            result=SolveResult.from_dict(result) if result is not None else None,
+            error=data.get("error"),
+            timeout_enforced=data.get("timeout_enforced", True),
+        )
 
 
 class _Timeout(Exception):
@@ -215,6 +240,8 @@ def run_many(
     cache_dir: str | None = None,
     cache: TraceCache | None = None,
     events=None,
+    workers: int = 1,
+    queue_dir: str | None = None,
 ) -> list[ProblemRecord]:
     """Run a registered solver on every problem, optionally in parallel.
 
@@ -249,6 +276,15 @@ def run_many(
         cache: shared in-memory cache for the ``cross_batch`` path
             (the service passes its own).
         events: event sink for the ``cross_batch`` path.
+        workers: > 1 (or any value with ``queue_dir``) switches to the
+            distributed runner (:mod:`repro.dist`): the problems are
+            enqueued on a journaled work queue and drained by this many
+            local worker processes.  Mutually exclusive with ``jobs``
+            and ``solve_fn``; ``cross_batch`` composes (each worker
+            claims cross-batch-sized item batches).
+        queue_dir: durable queue directory for the ``workers`` path.
+            Re-running on a half-finished queue skips journaled items
+            (resume); omitted = a private temporary queue.
 
     Returns:
         One record per problem, in input order, regardless of
@@ -278,10 +314,44 @@ def run_many(
             )
         if solve_fn is not None:
             raise ValueError("cross_batch and solve_fn are mutually exclusive")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    distributed = workers > 1 or queue_dir is not None
+    if distributed:
+        if jobs != 1:
+            raise ValueError(
+                "workers/queue_dir and jobs are mutually exclusive: the "
+                "distributed runner spawns its own worker processes"
+            )
+        if solve_fn is not None:
+            raise ValueError(
+                "workers/queue_dir and solve_fn are mutually exclusive "
+                "(worker processes rebuild solvers from the registry)"
+            )
+        if cross_batch > 1 and solver != "gcln":
+            raise ValueError(
+                "cross_batch requires solver='gcln': only the G-CLN "
+                "engine trains models that can batch across problems"
+            )
     if solve_fn is None:
         get_solver(solver)  # fail fast on unknown names
     if not problems:
         return []
+
+    if distributed:
+        from repro.dist.coordinator import run_distributed
+
+        return run_distributed(
+            problems,
+            config,
+            workers=workers,
+            queue_dir=queue_dir,
+            solver=solver,
+            timeout_seconds=timeout_seconds,
+            cross_batch=cross_batch,
+            cache_dir=cache_dir,
+            progress=progress,
+        )
 
     if cross_batch > 1:
         from repro.infer.batcher import run_cross_batched

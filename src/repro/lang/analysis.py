@@ -23,13 +23,11 @@ from repro.lang.ast import (
     Assume,
     Binary,
     Block,
-    BoolLit,
     Call,
     Expr,
     If,
     IntLit,
     Program,
-    Stmt,
     Unary,
     Var,
     While,

@@ -93,7 +93,6 @@ def build_term_basis(
     base = monomial_terms_up_to_degree(list(variables), max_degree)
     extended = list(base)
     for ext in externals:
-        ext_var = Monomial.var(ext.name)
         for exp in range(1, external_degree + 1):
             ext_mono = Monomial.var(ext.name, exp)
             extended.append(ext_mono)
@@ -102,7 +101,6 @@ def build_term_basis(
                 # model express constraints like x*gcd == ... if needed.
                 for var in variables:
                     extended.append(ext_mono * Monomial.var(var))
-        del ext_var
     seen: set[Monomial] = set()
     unique: list[Monomial] = []
     for mono in extended:

@@ -25,7 +25,6 @@ def test_guess_and_check_finds_linear_relation():
 def test_guess_and_check_finds_quadratic(sqrt1_data):
     states, basis, _raw, _data = sqrt1_data
     atoms = guess_and_check_equalities(states, basis)
-    polys = {str(a.poly) for a in atoms}
     # The nullspace spans the invariant ideal restricted to the basis.
     from repro.poly.reduce import is_implied_equality
 

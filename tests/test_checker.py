@@ -8,9 +8,8 @@ from repro.checker.symbolic import equality_inductive_symbolic
 from repro.infer.problem import parse_ground_truth
 from repro.lang import parse_program
 from repro.lang.analysis import extract_loop_paths
-from repro.smt.formula import And, Atom
+from repro.smt.formula import And
 from tests.conftest import SQRT1_SOURCE
-from tests.test_polynomial import P
 
 
 @pytest.fixture(scope="module")

@@ -222,6 +222,56 @@ def test_cross_batch_groups_same_shape_problems(monkeypatch):
     assert any(n > 1 and per_model for n, per_model in calls), calls
 
 
+def test_cross_batch_contains_training_crash_to_one_record(monkeypatch):
+    """A training failure raised in the coordinator frame (not inside
+    an engine generator) becomes one error record — parity with
+    ``_run_one`` — instead of aborting the whole suite."""
+    import repro.infer.batcher as batcher_mod
+
+    original = batcher_mod.execute_train_request
+    failed = []
+
+    def explode_once(request):
+        if not failed:
+            failed.append(True)
+            raise ValueError("degenerate data matrix")
+        return original(request)
+
+    monkeypatch.setattr(batcher_mod, "execute_train_request", explode_once)
+    # First attempts run alone (singles path), so the first problem's
+    # first training call is the one that explodes.
+    records = run_many(
+        [tiny_problem("boom"), tiny_problem("fine", 2)],
+        FAST_CONFIG,
+        cross_batch=4,
+    )
+    assert [r.name for r in records] == ["boom", "fine"]
+    assert records[0].status == "error"
+    assert "degenerate data matrix" in records[0].error
+    assert records[1].status == STATUS_OK
+
+
+def test_cross_batch_stacked_crash_falls_back_per_member(monkeypatch):
+    """A non-TrainingError crash in the stacked call retries members
+    inline instead of killing the suite."""
+    import repro.infer.batcher as batcher_mod
+
+    def always_explode(models, data, *args, **kwargs):
+        raise RuntimeError("stacked call blew up")
+
+    monkeypatch.setattr(batcher_mod, "train_gcln_restarts", always_explode)
+    # Same config as the grouping test above, so retries do form a
+    # stacked group and the explode path is actually exercised.
+    records = run_many(
+        [tiny_problem("fa", 2), tiny_problem("fb", 3), tiny_problem("fc", 4)],
+        InferenceConfig(max_epochs=80, dropout_schedule=(0.6,)),
+        cross_batch=8,
+    )
+    # The inline fallback (execute_train_request) still works, so both
+    # problems complete normally.
+    assert all(r.status == STATUS_OK for r in records)
+
+
 def test_cross_batch_soft_timeout(monkeypatch):
     """The soft budget retires over-budget problems between rounds."""
     import repro.infer.batcher as batcher_mod

@@ -1,6 +1,5 @@
 """Tests for Faulhaber power-sum closed forms and term enumeration."""
 
-from fractions import Fraction
 
 import pytest
 from hypothesis import given, strategies as st

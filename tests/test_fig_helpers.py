@@ -40,9 +40,9 @@ def test_theorem_4_2_tightness_shape():
     rng = np.random.default_rng(0)
     points = rng.uniform(2.0, 6.0, size=24)  # true tight bound: x - 2 >= 0
     X = np.stack([points, np.ones_like(points)], axis=1)
-    l = float(np.max(np.linalg.norm(X, axis=1)))
+    row_norm = float(np.max(np.linalg.norm(X, axis=1)))
     c1 = 0.5
-    c2 = 8 * np.sqrt(len(points)) * l * l / c1
+    c2 = 8 * np.sqrt(len(points)) * row_norm * row_norm / c1
     w = Tensor(np.array([1.0, 0.0]), requires_grad=True)
     opt = Adam([w], lr=0.02)
     Xt = Tensor(X)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import LexError, ParseError
-from repro.lang.ast import Assign, Binary, Call, If, IntLit, Var, While
+from repro.lang.ast import Binary, Call, If, While
 from repro.lang.lexer import tokenize
 from repro.lang.parser import parse_expr, parse_program
 from repro.lang.pretty import pretty_expr, pretty_program

@@ -17,7 +17,7 @@ from hypothesis import given, settings, strategies as st
 from repro.lang import parse_program
 from repro.lang.analysis import extract_loop_paths
 from repro.lang.interp import Interpreter
-from repro.sampling import fractional_inputs, normalize_rows, relax_initializers
+from repro.sampling import normalize_rows, relax_initializers
 from repro.smt.formula import And, Atom, Not, Or
 from repro.smt.simplify import simplify
 from tests.test_polynomial import P
