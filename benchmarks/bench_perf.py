@@ -15,6 +15,12 @@ Measures four things and writes them to ``BENCH_PERF.json``:
 4. **end_to_end** — wall-clock of full solves on a fixed problem set,
    with every optimization disabled (eager training, no attempt
    batching, no checker memoization) vs the defaults.
+5. **replay** — ``tape.step``-only epochs/sec of the units training
+   graph per replay backend: the reference closure walker (``numpy``)
+   vs the compiled fused plan (``fused``) vs numba-JITted segments
+   (``numba``, when importable).  This isolates the replay engine from
+   optimizer/bookkeeping overhead; sections 1-3 pin ``backend="numpy"``
+   so their trajectory stays comparable with historical records.
 
 Speedups are ratios measured in the same process on the same machine,
 so they are comparable across hosts; the absolute epochs/sec numbers
@@ -37,6 +43,7 @@ import numpy as np
 
 from repro.api import InvariantService
 from repro.bench import nla_problem
+from repro.autodiff import Tape, Tensor, numba_available, numba_version
 from repro.cln.model import (
     AtomicKind,
     GCLN,
@@ -44,6 +51,7 @@ from repro.cln.model import (
     structured_inequality_units,
 )
 from repro.cln.train import (
+    pbqu_ge,
     train_gcln,
     train_gcln_restarts,
     train_units_independently,
@@ -73,7 +81,11 @@ def bench_units(epochs: int, n_terms: int = 15, samples: int = 60) -> dict:
     )
     out: dict = {}
     for label, batched in (("sequential", False), ("batched", True)):
-        config = GCLNConfig(max_epochs=epochs, vectorized=batched)
+        # backend="numpy": this section tracks graph batching, not the
+        # replay engine (the "replay" section owns backend comparisons).
+        config = GCLNConfig(
+            max_epochs=epochs, vectorized=batched, backend="numpy"
+        )
         units = structured_inequality_units(
             term_vars, term_degs, variables, config, np.random.default_rng(3)
         )
@@ -100,7 +112,7 @@ def bench_gcln(epochs: int, n_terms: int = 15, samples: int = 60) -> dict:
     for label, vectorized in (("eager", False), ("vectorized", True)):
         config = GCLNConfig(
             n_clauses=10, max_epochs=epochs, dropout_rate=0.5,
-            vectorized=vectorized,
+            vectorized=vectorized, backend="numpy",
         )
         model = GCLN(
             n_terms, config, np.random.default_rng(7), protected_terms=[0]
@@ -136,7 +148,8 @@ def bench_suite(
             np.abs(rng.normal(size=(samples, n_terms))) + 0.5
         )
         config = GCLNConfig(
-            n_clauses=10, max_epochs=epochs, dropout_rate=0.5
+            n_clauses=10, max_epochs=epochs, dropout_rate=0.5,
+            backend="numpy",
         )
         model = GCLN(
             n_terms, config, np.random.default_rng(seed), protected_terms=[0]
@@ -164,6 +177,60 @@ def bench_suite(
     out["suite_epochs_per_sec"] = out["stacked_epochs_per_sec"]
     out["speedup"] = (
         out["stacked_epochs_per_sec"] / out["cross1_epochs_per_sec"]
+    )
+    return out
+
+
+def bench_replay(
+    reps: int, n_terms: int = 15, samples: int = 60
+) -> dict:
+    """``tape.step``-only epochs/sec of the units graph per backend.
+
+    Same graph as ``bench_units``'s batched leg (unit residuals →
+    PBQU → loss), but timing pure replays — no optimizer, clipping, or
+    annealing — so the number measures the replay engine itself.
+    """
+    data, term_vars, term_degs, variables = _unit_bank_inputs(
+        n_terms, samples, seed=0
+    )
+    backends = ["numpy", "fused"]
+    if numba_available():
+        backends.append("numba")
+    out: dict = {"reps": reps, "numba": numba_version()}
+    for backend in backends:
+        config = GCLNConfig(max_epochs=reps, backend=backend)
+        units = structured_inequality_units(
+            term_vars, term_degs, variables, config, np.random.default_rng(3)
+        )
+        model = GCLN(
+            n_terms, config, np.random.default_rng(3), units=units,
+            kind=AtomicKind.GE,
+        )
+        X = Tensor(np.asarray(data, dtype=np.float64))
+        c1_box = np.array(config.c1 * 10.0)
+
+        def build():
+            residuals = model.unit_residuals(X)
+            act = pbqu_ge(residuals, c1_box, config.c2)
+            return (1.0 - act).sum()
+
+        tape = Tape(backend=backend)
+        tape.step(build)  # record (eager)
+        model.unit_weights.grad = None
+        tape.step(build)  # first replay: compiles the plan
+        start = time.perf_counter()
+        for _ in range(reps):
+            model.unit_weights.grad = None
+            tape.step(build)
+        elapsed = time.perf_counter() - start
+        out[f"{backend}_epochs_per_sec"] = reps / elapsed
+        if backend == backends[-1]:
+            stats = tape.stats()
+            out["nodes"] = stats["n_nodes"]
+            out["fused_segments"] = stats["fused_segments"]
+            out["jitted_segments"] = stats["jitted_segments"]
+    out["speedup"] = (
+        out["fused_epochs_per_sec"] / out["numpy_epochs_per_sec"]
     )
     return out
 
@@ -221,6 +288,7 @@ def run(args: argparse.Namespace) -> dict:
         "suite": bench_suite(
             unit_epochs, n_problems=(8 if args.quick else 12)
         ),
+        "replay": bench_replay(1500 if args.quick else 3000),
         "end_to_end": bench_end_to_end(args.problems, e2e_epochs),
     }
     return payload
@@ -229,6 +297,7 @@ def run(args: argparse.Namespace) -> dict:
 def report(payload: dict) -> str:
     units, gcln, e2e = payload["units"], payload["gcln"], payload["end_to_end"]
     suite = payload["suite"]
+    replay = payload["replay"]
     rows = [
         [
             "units (train_units_independently)",
@@ -247,6 +316,17 @@ def report(payload: dict) -> str:
             f"{suite['cross1_epochs_per_sec']:.0f} ep/s",
             f"{suite['stacked_epochs_per_sec']:.0f} ep/s",
             f"{suite['speedup']:.1f}x",
+        ],
+        [
+            f"replay ({replay['nodes']} nodes, tape.step only)",
+            f"{replay['numpy_epochs_per_sec']:.0f} ep/s",
+            f"{replay['fused_epochs_per_sec']:.0f} ep/s"
+            + (
+                f" / numba {replay['numba_epochs_per_sec']:.0f}"
+                if "numba_epochs_per_sec" in replay
+                else ""
+            ),
+            f"{replay['speedup']:.1f}x",
         ],
         [
             f"end-to-end ({', '.join(e2e['problems'])})",

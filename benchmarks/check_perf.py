@@ -4,9 +4,12 @@ Two kinds of checks:
 
 * **Relative speedups** (machine-independent): the batched units path
   must stay >= 3x its sequential reference, the cross-problem suite
-  batch >= 2x per-problem training, and the end-to-end solves >= 2x
-  the all-optimizations-off configuration — the acceptance criteria of
-  the vectorized-training-core and cross-batch changes.  On loaded or
+  batch >= 2x per-problem training, the end-to-end solves >= 2x
+  the all-optimizations-off configuration, and the compiled (fused)
+  tape replay >= 3x the batched training loop's epochs/sec and never
+  slower than the reference closure walker — the acceptance criteria
+  of the vectorized-training-core, cross-batch, and compiled-replay
+  changes.  On loaded or
   heavily shared runners the ratios themselves get noisy; set
   ``REPRO_PERF_FLOOR_SCALE`` (a float in (0, 1], default 1.0) to scale
   every relative floor down instead of letting the gate flake — e.g.
@@ -31,6 +34,11 @@ import sys
 MIN_UNITS_SPEEDUP = 3.0
 MIN_SUITE_SPEEDUP = 2.0
 MIN_E2E_SPEEDUP = 2.0
+# The compiled fused replay vs the batched epochs/sec recorded in the
+# checked-in baseline — the compiled-replay acceptance criterion.
+MIN_REPLAY_SPEEDUP = 3.0
+# The fused plan must never lose to the closure walker it replaces.
+MIN_REPLAY_VS_WALKER = 1.0
 MAX_REGRESSION = 2.0  # current must be >= baseline / MAX_REGRESSION
 
 
@@ -60,6 +68,11 @@ def check(current: dict, baseline: dict) -> list[str]:
             "record has no 'suite' section — regenerate it with the "
             "current benchmarks/bench_perf.py"
         )
+    if "replay" not in current:
+        failures.append(
+            "record has no 'replay' section — regenerate it with the "
+            "current benchmarks/bench_perf.py"
+        )
     floors = [
         ("units", current["units"]["speedup"], MIN_UNITS_SPEEDUP),
         ("end-to-end", current["end_to_end"]["speedup"], MIN_E2E_SPEEDUP),
@@ -67,6 +80,15 @@ def check(current: dict, baseline: dict) -> list[str]:
     if "suite" in current:
         floors.append(
             ("suite cross-batch", current["suite"]["speedup"], MIN_SUITE_SPEEDUP)
+        )
+    if "replay" in current:
+        replay = current["replay"]
+        floors.append(
+            (
+                "replay fused vs walker",
+                replay["fused_epochs_per_sec"] / replay["numpy_epochs_per_sec"],
+                MIN_REPLAY_VS_WALKER,
+            )
         )
     for label, got, floor in floors:
         required = floor * scale
@@ -80,10 +102,25 @@ def check(current: dict, baseline: dict) -> list[str]:
             "absolute epochs/sec comparison, relative speedups still gate"
         )
         return failures
+    if "replay" in current and "units" in baseline:
+        # The compiled-replay acceptance criterion, against the
+        # *checked-in* baseline: the fused replay must deliver >= 3x
+        # the batched epochs/sec recorded before the plan compiler.
+        required = MIN_REPLAY_SPEEDUP * scale
+        got = (
+            current["replay"]["fused_epochs_per_sec"]
+            / baseline["units"]["batched_epochs_per_sec"]
+        )
+        if got < required:
+            failures.append(
+                f"replay fused vs baseline units.batched {got:.2f}x "
+                f"< required {required:.2f}x"
+            )
     for section, metric in (
         ("units", "batched_epochs_per_sec"),
         ("gcln", "vectorized_epochs_per_sec"),
         ("suite", "stacked_epochs_per_sec"),
+        ("replay", "fused_epochs_per_sec"),
     ):
         if section not in baseline or section not in current:
             continue  # record from before this section existed
@@ -114,6 +151,7 @@ def main(argv: list[str]) -> int:
             f"units {current['units']['speedup']:.1f}x, "
             f"gcln {current['gcln']['speedup']:.1f}x, "
             f"suite {current['suite']['speedup']:.1f}x, "
+            f"replay {current['replay']['speedup']:.1f}x, "
             f"end-to-end {current['end_to_end']['speedup']:.1f}x"
         )
     return 1 if failures else 0

@@ -91,6 +91,7 @@ def solve_result_from_inference(result) -> SolveResult:
         notes=list(result.notes),
         stage_timings=dict(result.stage_timings),
         cache_stats=dict(result.cache_stats),
+        backend=result.backend,
         raw=result,
     )
 

@@ -97,6 +97,9 @@ class SolveResult:
             profiling").
         cache_stats: the :class:`~repro.sampling.cache.TraceCache`
             counters observed at the end of the solve.
+        backend: resolved tape-replay backend name used for training
+            (``"numpy"``/``"fused"``/``"numba"``; empty for solvers
+            that do not train).
         raw: the strategy's native result object when it has one (the
             G-CLN adapter stores its ``InferenceResult`` here); never
             serialized.
@@ -111,6 +114,7 @@ class SolveResult:
     notes: list[str] = field(default_factory=list)
     stage_timings: dict[str, float] = field(default_factory=dict)
     cache_stats: dict[str, int] = field(default_factory=dict)
+    backend: str = ""
     raw: object | None = None
 
     def invariant(self, loop_index: int = 0) -> str:
@@ -132,6 +136,7 @@ class SolveResult:
             "notes": list(self.notes),
             "stage_timings": timings,
             "cache_stats": dict(self.cache_stats),
+            "backend": self.backend,
             "loops": [loop.to_dict() for loop in self.loops],
         }
 
@@ -153,6 +158,7 @@ class SolveResult:
             notes=list(data.get("notes", [])),
             stage_timings=dict(data.get("stage_timings", {})),
             cache_stats=dict(data.get("cache_stats", {})),
+            backend=data.get("backend", ""),
         )
 
 
@@ -167,6 +173,7 @@ RESULT_KEYS = frozenset(
         "notes",
         "stage_timings",
         "cache_stats",
+        "backend",
         "loops",
     }
 )

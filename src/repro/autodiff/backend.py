@@ -1,0 +1,1365 @@
+"""Replay backends: compile a recorded tape into a fused replay program.
+
+The :class:`~repro.autodiff.tape.Tape` replays a graph closure-by-
+closure: per node, a Python call, ``asarray``/``_unbroadcast`` checks,
+and freshly allocated gradient temporaries.  On the small arrays G-CLN
+trains on, that per-op machinery — not numpy — is the floor under
+epochs/sec.  This module removes it by *lowering* the recorded node
+list into straight-line Python source over preallocated buffers:
+
+* one generated ``_fwd()`` runs every forward in recorded order, and
+  one generated ``_bwd()`` seeds the root and fires every backward
+  contribution in reverse order — no per-op dispatch, no topological
+  bookkeeping, no gradient allocation;
+* scratch temporaries come from a shape-keyed arena allocated once at
+  compile time; every ufunc writes with ``out=``;
+* contributions to parents that do not require gradients are dropped
+  at compile time (the walker computes and discards them);
+* ``exclusive_prod`` — the t-norm backward hot spot — runs through an
+  allocation-free twin that is bitwise-identical to the reference;
+* runs of adjacent same-shape elementwise nodes form *fused segments*;
+  the numba backend JITs those segments into single per-element loops
+  (:mod:`repro.autodiff.backend_numba`), falling back to the fused
+  numpy lines when numba is absent or compilation fails.
+
+**Oracle guarantee**: the ``numpy`` backend is the untouched closure
+walker, and the ``fused`` plan computes every gradient with the same
+numpy ufunc sequence the closures execute (relying on documented
+identities such as ``x ** 2`` lowering to ``np.square``, scalar
+operands matching uniform-array operands bitwise, and multiply/add
+commuting bitwise), so fused replays are bitwise-identical to walker
+replays with two narrow, value-equal exceptions — values always
+compare equal under ``==``/``np.array_equal``:
+
+* the *sign* of exactly-zero gradients can differ: the plan's first
+  contribution to a buffer overwrites instead of adding into zeros,
+  constant gradient chains fold to Python floats, and masked selects
+  (``where``/``maximum``/``minimum`` backward) use a boolean multiply
+  instead of ``np.where``;
+* those masked selects also assume *finite* gradients (an inf/nan
+  gradient flowing into a masked-out branch would surface as nan here
+  but 0 in the walker), and a dead subgraph — one whose output never
+  receives a gradient — is skipped outright rather than fed exact
+  zeros.
+
+Numba segments use libm scalar math and are held to a tight
+``allclose`` instead.
+
+Compilation is conservative: any node without supported ``_op``
+metadata makes :func:`compile_plan` return ``None`` and the tape falls
+back to the walker.  Correctness never depends on compilability.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import AutodiffError
+from repro.autodiff.functional import _stable_sigmoid
+from repro.autodiff.tensor import Tensor, exclusive_prod
+
+
+def exclusive_prod_into(
+    x: np.ndarray,
+    axis: int,
+    left: np.ndarray,
+    right: np.ndarray,
+    out: np.ndarray,
+) -> np.ndarray:
+    """Allocation-free, bitwise-identical twin of ``exclusive_prod``.
+
+    ``left``/``right``/``out`` are caller-owned scratch of ``x``'s
+    shape.  The shifted-cumprod construction multiplies exactly the
+    same values in the same order as the reference, so results are
+    bitwise-equal (asserted by the backend test suite).
+    """
+    ndim = x.ndim
+    first = tuple(
+        slice(0, 1) if i == axis else slice(None) for i in range(ndim)
+    )
+    head = tuple(
+        slice(0, x.shape[axis] - 1) if i == axis else slice(None)
+        for i in range(ndim)
+    )
+    tail = tuple(
+        slice(1, None) if i == axis else slice(None) for i in range(ndim)
+    )
+    left[first] = 1.0
+    left[tail] = x[head]
+    np.cumprod(left, axis=axis, out=left)
+    rev = np.flip(x, axis=axis)
+    right[first] = 1.0
+    right[tail] = rev[head]
+    np.cumprod(right, axis=axis, out=right)
+    np.multiply(left, np.flip(right, axis=axis), out=out)
+    return out
+
+
+def _lit(value) -> str:
+    """Embed a Python scalar in generated source, round-tripping floats."""
+    return repr(value)
+
+
+def _matmul_result_shape(sa: tuple, sb: tuple) -> tuple:
+    batch = np.broadcast_shapes(sa[:-2], sb[:-2])
+    return batch + (sa[-2], sb[-1])
+
+
+class ReplayProgram:
+    """A compiled forward/backward replay for one recorded tape."""
+
+    def __init__(
+        self,
+        env: dict,
+        data_guard: list,
+        grad_guard: list,
+        source: str,
+        n_segments: int,
+        n_jitted: int,
+    ):
+        self.env = env
+        self.forward: Callable[[], None] = env["_fwd"]
+        self.backward: Callable[[], None] = env["_bwd"]
+        self._data_guard = data_guard
+        self._grad_guard = grad_guard
+        self.source = source
+        self.n_segments = n_segments
+        self.n_jitted = n_jitted
+
+    def guards_ok(self) -> bool:
+        """True while every bound leaf still owns the compiled buffers.
+
+        A leaf whose ``.data`` was swapped for a different array (e.g.
+        storage rebinding) invalidates the plan; the tape recompiles.
+        """
+        env = self.env
+        for tensor, name in self._data_guard:
+            if env[name] is not tensor.data:
+                return False
+        return True
+
+    def prepare_grads(self) -> None:
+        """Point the plan at each leaf's current gradient buffer.
+
+        A leaf entering the replay with ``grad=None`` gets a plan-owned
+        zeroed buffer (the walker would copy its first contribution;
+        adding into zeros is value-equal).  A caller-swapped buffer is
+        simply rebound — names resolve through ``env`` at call time.
+        """
+        env = self.env
+        for tensor, name, own in self._grad_guard:
+            grad = tensor.grad
+            if grad is None:
+                own.fill(0.0)
+                tensor.grad = grad = own
+            if env[name] is not grad:
+                env[name] = grad
+
+
+# Elementwise kinds a numba segment can absorb (same-shape operands).
+_SEGMENT_KINDS = frozenset(
+    {
+        "add", "sub", "mul", "div", "neg", "abs", "exp", "log", "sqrt",
+        "tanh", "relu", "sigmoid", "pow", "gaussian", "pbqu",
+        "maximum", "minimum",
+    }
+)
+# Kinds heavy enough that a single-node segment is worth a JIT loop.
+_HEAVY_KINDS = frozenset(
+    {"exp", "log", "sqrt", "tanh", "sigmoid", "gaussian", "pbqu"}
+)
+
+
+class _PlanCompiler:
+    """Lowers a recorded node list into a :class:`ReplayProgram`."""
+
+    def __init__(self, nodes: list[Tensor], root: Tensor, jit: bool):
+        self.nodes = nodes
+        self.root = root
+        self.jit = jit
+        self.env: dict = {
+            "np": np,
+            "_sig": _stable_sigmoid,
+            "_xp": exclusive_prod,
+            "_xpi": exclusive_prod_into,
+        }
+        self.node_ids = {id(n) for n in nodes}
+        self._names: dict[int, str] = {}
+        self._keepalive: list = []
+        self._guarded: set[int] = set()
+        self.data_guard: list = []
+        self.grad_guard: list = []
+        self._leaf_grad: dict[int, str] = {}
+        self._scratch: dict = {}
+        self._persist: dict = {}
+        # Interior gradient-buffer state for the backward emission:
+        # ("unwritten",) — no contribution yet; ("uniform", u) — every
+        # element is the Python float u, with no per-epoch line writing
+        # the buffer; ("mat",) — per-epoch data.  The root seeds as
+        # uniform 1.0 and constant chains (sum/add/neg/slice backward)
+        # fold through as Python scalars instead of array traffic.
+        self._gstate: dict[int, tuple] = {}
+        self._init_fills: list[tuple[str, float]] = []
+        self._slot = 0
+        self._local = 0
+        self.fwd_lines: list[str] = []
+        self.bwd_lines: list[str] = []
+        self._fwd_spans: list[tuple[Tensor, int, int]] = []
+        self.failure: str | None = None
+
+    # -- binding -----------------------------------------------------------
+
+    def _bind(self, obj, prefix: str) -> str:
+        key = id(obj)
+        name = self._names.get(key)
+        if name is None:
+            name = f"{prefix}{len(self._names)}"
+            self._names[key] = name
+            self.env[name] = obj
+            self._keepalive.append(obj)
+        return name
+
+    def dname(self, t: Tensor) -> str:
+        name = self._bind(t.data, "v")
+        if id(t) not in self.node_ids and id(t) not in self._guarded:
+            self._guarded.add(id(t))
+            self.data_guard.append((t, name))
+        return name
+
+    def gname(self, t: Tensor) -> str:
+        if id(t) in self.node_ids:
+            if t._grad_buf is None:
+                t._grad_buf = np.zeros_like(t.data)
+            return self._bind(t._grad_buf, "g")
+        name = self._leaf_grad.get(id(t))
+        if name is None:
+            own = np.zeros_like(t.data)
+            bound = t.grad if t.grad is not None else own
+            name = f"lg{len(self._leaf_grad)}"
+            self._leaf_grad[id(t)] = name
+            self.env[name] = bound
+            self._keepalive.append(own)
+            self.grad_guard.append((t, name, own))
+        return name
+
+    def const(self, obj) -> str:
+        return self._bind(obj, "c")
+
+    def tmp(self, shape, dtype="f8") -> str:
+        key = (tuple(shape), dtype, self._slot)
+        self._slot += 1
+        name = self._scratch.get(key)
+        if name is None:
+            name = self._bind(np.empty(shape, dtype=dtype), "s")
+            self._scratch[key] = name
+        return name
+
+    def persist(self, node: Tensor, tag: str, shape, dtype="f8") -> str:
+        key = (id(node), tag)
+        name = self._persist.get(key)
+        if name is None:
+            name = self._bind(np.empty(shape, dtype=dtype), "p")
+            self._persist[key] = name
+        return name
+
+    def local(self) -> str:
+        self._local += 1
+        return f"_t{self._local}"
+
+    def scal(self, value, lines: list[str]) -> str:
+        """A dynamic scalar: floats embed, 0-d boxes are read per call."""
+        if isinstance(value, np.ndarray):
+            name = self.const(value)
+            var = self.local()
+            lines.append(f"{var} = float({name})")
+            return var
+        return _lit(float(value))
+
+    # -- gradient accumulation --------------------------------------------
+    #
+    # The walker zero-fills every interior gradient buffer and *adds*
+    # each contribution.  The plan instead tracks buffer state: the
+    # first contribution to an interior buffer *overwrites* it (a
+    # successful claim), and purely constant gradients stay Python
+    # floats until an op actually needs an array.  Both transforms are
+    # value-equal to the walker; the only deviations are the sign of
+    # exactly-zero gradients and dead subgraphs fed inf/nan data.
+
+    def _state(self, t: Tensor) -> tuple:
+        return self._gstate.get(id(t), ("unwritten",))
+
+    def _claim(self, t: Tensor) -> bool:
+        """True iff ``t``'s first contribution may overwrite its buffer."""
+        if id(t) not in self.node_ids:
+            return False  # leaves accumulate into caller-owned buffers
+        if self._state(t)[0] == "unwritten":
+            self._gstate[id(t)] = ("mat",)
+            return True
+        return False
+
+    def gy_uniform(self, node: Tensor) -> float | None:
+        """``node``'s incoming gradient as a Python float, or None."""
+        state = self._state(node)
+        if state[0] == "unwritten":
+            return 0.0
+        if state[0] == "uniform":
+            return state[1]
+        return None
+
+    def gy_arr(self, node: Tensor) -> str:
+        """``node``'s incoming gradient as an array, materializing it.
+
+        A still-uniform buffer is filled *once at plan build* — every
+        contribution to it has already been emitted (reverse order), so
+        no per-epoch line writes it and the fill stays valid.
+        """
+        name = self.gname(node)
+        state = self._state(node)
+        if state[0] != "mat":
+            u = 0.0 if state[0] == "unwritten" else state[1]
+            self._init_fills.append((name, u))
+            self._gstate[id(node)] = ("mat",)
+        return name
+
+    def _demote_uniform(self, lines: list[str], t: Tensor) -> None:
+        """Materialize a uniform buffer before an add-form contribution."""
+        state = self._state(t)
+        if state[0] == "uniform":
+            lines.append(f"{self.gname(t)}.fill({_lit(state[1])})")
+            self._gstate[id(t)] = ("mat",)
+
+    def push_uniform(
+        self, lines: list[str], parent: Tensor, u: float
+    ) -> None:
+        """Contribute a uniform gradient of ``u`` to ``parent``."""
+        if not parent.requires_grad or u == 0.0:
+            return
+        if id(parent) in self.node_ids:
+            state = self._state(parent)
+            if state[0] == "unwritten":
+                self._gstate[id(parent)] = ("uniform", u)
+                return
+            if state[0] == "uniform":
+                self._gstate[id(parent)] = ("uniform", state[1] + u)
+                return
+        g = self.gname(parent)
+        lines.append(f"np.add({g}, {_lit(u)}, out={g})")
+
+    def contrib_dest(
+        self, lines: list[str], parent: Tensor, src_shape: tuple
+    ):
+        """Where an emitter's final op should write its contribution.
+
+        Returns ``(dest, token)``: with ``token`` None the destination
+        *is* the parent's (claimed) gradient buffer and the emitter is
+        done; otherwise finish with :meth:`finish_contrib`.
+        """
+        if tuple(parent.data.shape) == tuple(src_shape) and self._claim(
+            parent
+        ):
+            return self.gname(parent), None
+        return self.tmp(src_shape), (parent, tuple(src_shape))
+
+    def finish_contrib(self, lines: list[str], dest: str, token) -> None:
+        if token is not None:
+            parent, src_shape = token
+            self.accum(lines, parent, dest, src_shape)
+
+    def accum(
+        self, lines: list[str], parent: Tensor, src: str, src_shape: tuple
+    ) -> None:
+        """buf (+)= _unbroadcast(src): the walker's accumulate, statically."""
+        g = self.gname(parent)
+        tshape = tuple(parent.data.shape)
+        cur, curshape = src, tuple(src_shape)
+        if curshape != tshape:
+            extra = len(curshape) - len(tshape)
+            if extra > 0:
+                axes = tuple(range(extra))
+                outshape = curshape[extra:]
+                s = self.tmp(outshape)
+                lines.append(f"np.add.reduce({cur}, axis={axes}, out={s})")
+                cur, curshape = s, outshape
+            axes = tuple(
+                i for i, d in enumerate(tshape)
+                if d == 1 and curshape[i] != 1
+            )
+            if axes:
+                outshape = tuple(
+                    1 if i in axes else d for i, d in enumerate(curshape)
+                )
+                s = self.tmp(outshape)
+                lines.append(
+                    f"np.add.reduce({cur}, axis={axes}, keepdims=True, "
+                    f"out={s})"
+                )
+                cur, curshape = s, outshape
+            if curshape != tshape:
+                cur = f"{cur}.reshape({tshape!r})"
+        if self._claim(parent):
+            lines.append(f"np.copyto({g}, {cur})")
+            return
+        self._demote_uniform(lines, parent)
+        lines.append(f"np.add({g}, {cur}, out={g})")
+
+    def accum_neg(
+        self, lines: list[str], parent: Tensor, src: str, src_shape: tuple
+    ) -> None:
+        """buf += (-src), using in-place subtract when shapes line up."""
+        tshape = tuple(parent.data.shape)
+        if tuple(src_shape) == tshape:
+            g = self.gname(parent)
+            if self._claim(parent):
+                lines.append(f"np.negative({src}, out={g})")
+                return
+            self._demote_uniform(lines, parent)
+            lines.append(f"np.subtract({g}, {src}, out={g})")
+            return
+        s = self.tmp(src_shape)
+        lines.append(f"np.negative({src}, out={s})")
+        self.accum(lines, parent, s, src_shape)
+
+    # -- emission ----------------------------------------------------------
+
+    def compile(self) -> ReplayProgram | None:
+        for node in self.nodes:
+            if node._op is None:
+                self.failure = "node without op metadata"
+                return None
+        try:
+            self._gstate[id(self.root)] = ("uniform", 1.0)
+            for node in self.nodes:
+                self._slot = 0
+                self._emit_forward(node)
+            for node in reversed(self.nodes):
+                self._slot = 0
+                self._emit_backward(node)
+        except _Unsupported as exc:
+            self.failure = str(exc)
+            return None
+        n_segments, n_jitted = self._finalize_segments()
+        body_f = "\n".join(f"    {ln}" for ln in self.fwd_lines) or "    pass"
+        body_b = "\n".join(f"    {ln}" for ln in self.bwd_lines) or "    pass"
+        source = f"def _fwd():\n{body_f}\n\ndef _bwd():\n{body_b}\n"
+        exec(compile(source, "<replay-plan>", "exec"), self.env)
+        # Buffers still uniform at the end of emission are never written
+        # per-epoch; fill them once, now.
+        for name, u in self._init_fills:
+            self.env[name].fill(u)
+        return ReplayProgram(
+            self.env, self.data_guard, self.grad_guard, source,
+            n_segments, n_jitted,
+        )
+
+    # Forward lines are tagged with their node so the segment pass can
+    # group adjacent elementwise work; each entry of _fwd_spans is
+    # (node, first_line_index, n_lines).
+    def _emit_forward(self, node: Tensor) -> None:
+        start = len(self.fwd_lines)
+        self._forward_op(node)
+        self._fwd_spans.append((node, start, len(self.fwd_lines) - start))
+
+    def _finalize_segments(self) -> tuple[int, int]:
+        """Count fused segments; JIT them when the numba backend is on."""
+        spans = self._fwd_spans
+        segments: list[list] = []
+        run: list = []
+        for node, start, count in spans:
+            if self._segmentable(node):
+                run.append((node, start, count))
+            else:
+                if run:
+                    segments.append(run)
+                run = []
+        if run:
+            segments.append(run)
+        worthwhile = [
+            seg for seg in segments
+            if len(seg) >= 2
+            or any(n._op[0] in _HEAVY_KINDS for n, _, _ in seg)
+        ]
+        n_jitted = 0
+        if self.jit and worthwhile:
+            from repro.autodiff import backend_numba
+
+            replaced: list[tuple[int, int, str]] = []
+            for seg in worthwhile:
+                caller = backend_numba.jit_forward_segment(self, seg)
+                if caller is None:
+                    continue
+                name = self._bind(caller, "j")
+                first = seg[0][1]
+                last = seg[-1][1] + seg[-1][2]
+                replaced.append((first, last, f"{name}()"))
+                n_jitted += 1
+            for first, last, call in sorted(replaced, reverse=True):
+                self.fwd_lines[first:last] = [call]
+        return len(worthwhile), n_jitted
+
+    def _segmentable(self, node: Tensor) -> bool:
+        kind, params = node._op
+        if kind not in _SEGMENT_KINDS:
+            return False
+        shape = node.data.shape
+        if node.data.ndim == 0 or not node.data.flags.c_contiguous:
+            return False
+        for p in node._parents:
+            if p.data.shape == shape:
+                if not p.data.flags.c_contiguous:
+                    return False
+            elif p.data.ndim != 0:
+                return False
+        return True
+
+    # -- forward ops -------------------------------------------------------
+
+    def _forward_op(self, node: Tensor) -> None:
+        kind, params = node._op
+        y = self.dname(node)
+        ps = node._parents
+        out = self.fwd_lines
+        if kind == "add":
+            out.append(f"np.add({self.dname(ps[0])}, {self.dname(ps[1])}, out={y})")
+        elif kind == "sub":
+            out.append(f"np.subtract({self.dname(ps[0])}, {self.dname(ps[1])}, out={y})")
+        elif kind == "mul":
+            out.append(f"np.multiply({self.dname(ps[0])}, {self.dname(ps[1])}, out={y})")
+        elif kind == "div":
+            out.append(f"np.divide({self.dname(ps[0])}, {self.dname(ps[1])}, out={y})")
+        elif kind == "neg":
+            out.append(f"np.negative({self.dname(ps[0])}, out={y})")
+        elif kind == "abs":
+            out.append(f"np.abs({self.dname(ps[0])}, out={y})")
+        elif kind == "pow":
+            e = params["exponent"]
+            out.append(f"np.power({self.dname(ps[0])}, {_lit(e)}, out={y})")
+        elif kind == "matmul":
+            a, b = self.dname(ps[0]), self.dname(ps[1])
+            if node.data.ndim:
+                out.append(f"np.matmul({a}, {b}, out={y})")
+            else:
+                out.append(f"{y}[...] = {a} @ {b}")
+        elif kind == "sum":
+            # np.sum delegates to add.reduce; calling it directly skips
+            # the dispatch wrapper and stays bitwise-identical.
+            out.append(
+                f"np.add.reduce({self.dname(ps[0])}, "
+                f"axis={params['axis']!r}, "
+                f"keepdims={params['keepdims']!r}, out={y})"
+            )
+        elif kind == "prod":
+            out.append(
+                f"np.multiply.reduce({self.dname(ps[0])}, "
+                f"axis={params['axis']!r}, "
+                f"keepdims={params['keepdims']!r}, out={y})"
+            )
+        elif kind == "reshape":
+            if not params["is_view"]:
+                shape = tuple(node.data.shape)
+                out.append(
+                    f"{y}[...] = {self.dname(ps[0])}.reshape({shape!r})"
+                )
+        elif kind == "T":
+            if not params["is_view"]:
+                out.append(f"{y}[...] = {self.dname(ps[0])}.T")
+        elif kind == "swapaxes":
+            pass  # always a view of the parent
+        elif kind == "getitem":
+            if not params["is_view"]:
+                idx = self.const(params["index"])
+                out.append(f"{y}[...] = {self.dname(ps[0])}[{idx}]")
+        elif kind == "exp":
+            out.append(f"np.exp({self.dname(ps[0])}, out={y})")
+        elif kind == "log":
+            out.append(f"np.log({self.dname(ps[0])}, out={y})")
+        elif kind == "sqrt":
+            out.append(f"np.sqrt({self.dname(ps[0])}, out={y})")
+        elif kind == "tanh":
+            out.append(f"np.tanh({self.dname(ps[0])}, out={y})")
+        elif kind == "relu":
+            out.append(f"np.maximum({self.dname(ps[0])}, 0.0, out={y})")
+        elif kind == "sigmoid":
+            out.append(f"{y}[...] = _sig({self.dname(ps[0])})")
+        elif kind == "gaussian":
+            a = self.dname(ps[0])
+            s = self.scal(params["sigma"], out)
+            t = self.tmp(node.data.shape)
+            out.append(f"np.square({a}, out={t})")
+            out.append(f"np.negative({t}, out={t})")
+            out.append(f"np.divide({t}, 2.0 * {s} ** 2, out={t})")
+            out.append(f"np.exp({t}, out={y})")
+        elif kind == "pbqu":
+            a = self.dname(ps[0])
+            c1 = self.scal(params["c1"], out)
+            c2 = self.scal(params["c2"], out)
+            k = self.persist(node, "k", node.data.shape)
+            den = self.persist(node, "den", node.data.shape)
+            mask = self.tmp(node.data.shape, "?")
+            inv = self.tmp(node.data.shape, "?")
+            s = self.tmp(node.data.shape)
+            # k = where(mask, c2**2, c1**2) built as mask*c2**2 +
+            # (~mask)*c1**2 — bitwise-identical for positive constants
+            # and ~7x faster than copyto(where=) on small arrays.
+            out.append(f"np.greater_equal({a}, 0.0, out={mask})")
+            out.append(f"np.multiply({mask}, {c2} ** 2, out={k})")
+            out.append(f"np.logical_not({mask}, out={inv})")
+            out.append(f"np.multiply({inv}, {c1} ** 2, out={s})")
+            out.append(f"np.add({k}, {s}, out={k})")
+            out.append(f"np.multiply({a}, {a}, out={den})")
+            out.append(f"np.add({den}, {k}, out={den})")
+            out.append(f"np.divide({k}, {den}, out={y})")
+        elif kind in ("tnorm", "tconorm"):
+            self._forward_tnorm(node, kind, params)
+        elif kind == "where":
+            a, b = self.dname(ps[0]), self.dname(ps[1])
+            cond = self.const(params["cond"])
+            if params["cond_fn"] is not None:
+                fn = self.const(params["cond_fn"])
+                out.append(f"{cond}[...] = {fn}()")
+            out.append(f"np.copyto({y}, {b})")
+            out.append(f"np.copyto({y}, {a}, where={cond})")
+        elif kind == "maximum":
+            out.append(f"np.maximum({self.dname(ps[0])}, {self.dname(ps[1])}, out={y})")
+        elif kind == "minimum":
+            out.append(f"np.minimum({self.dname(ps[0])}, {self.dname(ps[1])}, out={y})")
+        elif kind == "concat":
+            parts = ", ".join(self.dname(p) for p in ps)
+            out.append(
+                f"np.concatenate(({parts}), axis={params['axis']!r}, out={y})"
+            )
+        elif kind == "stack":
+            parts = ", ".join(self.dname(p) for p in ps)
+            out.append(f"np.stack(({parts}), axis={params['axis']!r}, out={y})")
+        else:
+            raise _Unsupported(f"unsupported op kind {kind!r}")
+
+    def _forward_tnorm(self, node: Tensor, kind: str, params: dict) -> None:
+        values, gates = node._parents
+        v, g = self.dname(values), self.dname(gates)
+        y = self.dname(node)
+        inner = self.const(params["inner"])
+        axis = params["axis"]
+        out = self.fwd_lines
+        if kind == "tnorm":
+            if params["inner"].shape == values.data.shape:
+                out.append(f"np.subtract({v}, 1.0, out={inner})")
+                out.append(f"np.multiply({inner}, {g}, out={inner})")
+                out.append(f"np.add({inner}, 1.0, out={inner})")
+            else:
+                out.append(f"{inner}[...] = 1.0 + {g} * ({v} - 1.0)")
+            out.append(f"np.multiply.reduce({inner}, axis={axis!r}, out={y})")
+        else:
+            out.append(f"np.multiply({g}, {v}, out={inner})")
+            out.append(f"np.subtract(1.0, {inner}, out={inner})")
+            out.append(f"np.multiply.reduce({inner}, axis={axis!r}, out={y})")
+            out.append(f"np.subtract(1.0, {y}, out={y})")
+
+    # -- backward ops ------------------------------------------------------
+
+    def _emit_backward(self, node: Tensor) -> None:
+        kind, params = node._op
+        yshape = tuple(node.data.shape)
+        ps = node._parents
+        out = self.bwd_lines
+        u = self.gy_uniform(node)
+        if u == 0.0:
+            # Dead subgraph: the walker would propagate exact zeros.
+            return
+        if kind == "add":
+            if u is not None:
+                for p in ps:
+                    self.push_uniform(out, p, u)
+                return
+            gy = self.gy_arr(node)
+            for p in ps:
+                if p.requires_grad:
+                    self.accum(out, p, gy, yshape)
+        elif kind == "sub":
+            if u is not None:
+                self.push_uniform(out, ps[0], u)
+                self.push_uniform(out, ps[1], -u)
+                return
+            gy = self.gy_arr(node)
+            if ps[0].requires_grad:
+                self.accum(out, ps[0], gy, yshape)
+            if ps[1].requires_grad:
+                self.accum_neg(out, ps[1], gy, yshape)
+        elif kind == "neg":
+            if u is not None:
+                self.push_uniform(out, ps[0], -u)
+                return
+            if ps[0].requires_grad:
+                self.accum_neg(out, ps[0], self.gy_arr(node), yshape)
+        elif kind == "mul":
+            a, b = ps
+            if a is b:
+                # x*x: both sides push the identical product — compute
+                # it once and add it twice (the walker's 0+c+c and this
+                # c+c agree bitwise).
+                if a.requires_grad:
+                    dest, token = self.contrib_dest(out, a, yshape)
+                    if u is not None:
+                        out.append(
+                            f"np.multiply({self.dname(a)}, {_lit(u)}, "
+                            f"out={dest})"
+                        )
+                    else:
+                        out.append(
+                            f"np.multiply({self.gy_arr(node)}, "
+                            f"{self.dname(a)}, out={dest})"
+                        )
+                    if token is None:
+                        g = self.gname(a)
+                        out.append(f"np.add({g}, {g}, out={g})")
+                    else:
+                        self.finish_contrib(out, dest, token)
+                        self.accum(out, a, dest, yshape)
+                return
+            if a.requires_grad:
+                dest, token = self.contrib_dest(out, a, yshape)
+                if u is not None:
+                    out.append(
+                        f"np.multiply({self.dname(b)}, {_lit(u)}, out={dest})"
+                    )
+                else:
+                    out.append(
+                        f"np.multiply({self.gy_arr(node)}, "
+                        f"{self.dname(b)}, out={dest})"
+                    )
+                self.finish_contrib(out, dest, token)
+            if b.requires_grad:
+                dest, token = self.contrib_dest(out, b, yshape)
+                if u is not None:
+                    out.append(
+                        f"np.multiply({self.dname(a)}, {_lit(u)}, out={dest})"
+                    )
+                else:
+                    out.append(
+                        f"np.multiply({self.gy_arr(node)}, "
+                        f"{self.dname(a)}, out={dest})"
+                    )
+                self.finish_contrib(out, dest, token)
+        elif kind == "div":
+            a, b = ps
+            if a.requires_grad:
+                dest, token = self.contrib_dest(out, a, yshape)
+                if u is not None:
+                    out.append(
+                        f"np.divide({_lit(u)}, {self.dname(b)}, out={dest})"
+                    )
+                else:
+                    out.append(
+                        f"np.divide({self.gy_arr(node)}, "
+                        f"{self.dname(b)}, out={dest})"
+                    )
+                self.finish_contrib(out, dest, token)
+            if b.requires_grad:
+                s = self.tmp(yshape)
+                s2 = self.tmp(tuple(b.data.shape))
+                if u is not None:
+                    out.append(
+                        f"np.multiply({self.dname(a)}, {_lit(-u)}, out={s})"
+                    )
+                else:
+                    out.append(f"np.negative({self.gy_arr(node)}, out={s})")
+                    out.append(f"np.multiply({s}, {self.dname(a)}, out={s})")
+                out.append(f"np.square({self.dname(b)}, out={s2})")
+                dest, token = self.contrib_dest(out, b, yshape)
+                out.append(f"np.divide({s}, {s2}, out={dest})")
+                self.finish_contrib(out, dest, token)
+        elif kind == "pow":
+            if ps[0].requires_grad:
+                self._backward_pow(node, params["exponent"], u)
+        elif kind == "matmul":
+            self._backward_matmul(node)
+        elif kind == "abs":
+            if ps[0].requires_grad:
+                a = self.dname(ps[0])
+                s = self.tmp(yshape)
+                out.append(f"np.sign({a}, out={s})")
+                dest, token = self.contrib_dest(out, ps[0], yshape)
+                if u is not None:
+                    out.append(f"np.multiply({s}, {_lit(u)}, out={dest})")
+                else:
+                    out.append(
+                        f"np.multiply({self.gy_arr(node)}, {s}, out={dest})"
+                    )
+                self.finish_contrib(out, dest, token)
+        elif kind == "sum":
+            if ps[0].requires_grad:
+                if u is not None:
+                    self.push_uniform(out, ps[0], u)
+                else:
+                    self._backward_sum(node, params)
+        elif kind == "prod":
+            if ps[0].requires_grad:
+                self._backward_prod(node, params, u)
+        elif kind == "reshape":
+            if ps[0].requires_grad:
+                if u is not None:
+                    self.push_uniform(out, ps[0], u)
+                    return
+                pshape = tuple(ps[0].data.shape)
+                gy = self.gy_arr(node)
+                self.accum(out, ps[0], f"{gy}.reshape({pshape!r})", pshape)
+        elif kind == "T":
+            if ps[0].requires_grad:
+                if u is not None:
+                    self.push_uniform(out, ps[0], u)
+                    return
+                pshape = tuple(ps[0].data.shape)
+                self.accum(out, ps[0], f"{self.gy_arr(node)}.T", pshape)
+        elif kind == "swapaxes":
+            if ps[0].requires_grad:
+                if u is not None:
+                    self.push_uniform(out, ps[0], u)
+                    return
+                a1, a2 = params["axis1"], params["axis2"]
+                pshape = tuple(ps[0].data.shape)
+                self.accum(
+                    out, ps[0],
+                    f"{self.gy_arr(node)}.swapaxes({a1}, {a2})", pshape,
+                )
+        elif kind == "getitem":
+            if ps[0].requires_grad:
+                pshape = tuple(ps[0].data.shape)
+                full = self.persist(node, "scatter", pshape)
+                idx = self.const(params["index"])
+                src = _lit(u) if u is not None else self.gy_arr(node)
+                out.append(f"{full}.fill(0.0)")
+                out.append(f"np.add.at({full}, {idx}, {src})")
+                self.accum(out, ps[0], full, pshape)
+        elif kind == "exp":
+            if ps[0].requires_grad:
+                dest, token = self.contrib_dest(out, ps[0], yshape)
+                if u is not None:
+                    out.append(
+                        f"np.multiply({self.dname(node)}, {_lit(u)}, "
+                        f"out={dest})"
+                    )
+                else:
+                    out.append(
+                        f"np.multiply({self.gy_arr(node)}, "
+                        f"{self.dname(node)}, out={dest})"
+                    )
+                self.finish_contrib(out, dest, token)
+        elif kind == "log":
+            if ps[0].requires_grad:
+                dest, token = self.contrib_dest(out, ps[0], yshape)
+                if u is not None:
+                    out.append(
+                        f"np.divide({_lit(u)}, {self.dname(ps[0])}, "
+                        f"out={dest})"
+                    )
+                else:
+                    out.append(
+                        f"np.divide({self.gy_arr(node)}, "
+                        f"{self.dname(ps[0])}, out={dest})"
+                    )
+                self.finish_contrib(out, dest, token)
+        elif kind == "sqrt":
+            if ps[0].requires_grad:
+                s2 = self.tmp(yshape)
+                if u is not None:
+                    out.append(
+                        f"np.maximum({self.dname(node)}, 1e-300, out={s2})"
+                    )
+                    dest, token = self.contrib_dest(out, ps[0], yshape)
+                    out.append(
+                        f"np.divide({_lit(u * 0.5)}, {s2}, out={dest})"
+                    )
+                else:
+                    s = self.tmp(yshape)
+                    out.append(f"np.multiply({self.gy_arr(node)}, 0.5, out={s})")
+                    out.append(
+                        f"np.maximum({self.dname(node)}, 1e-300, out={s2})"
+                    )
+                    dest, token = self.contrib_dest(out, ps[0], yshape)
+                    out.append(f"np.divide({s}, {s2}, out={dest})")
+                self.finish_contrib(out, dest, token)
+        elif kind == "tanh":
+            if ps[0].requires_grad:
+                s = self.tmp(yshape)
+                out.append(f"np.square({self.dname(node)}, out={s})")
+                out.append(f"np.subtract(1.0, {s}, out={s})")
+                dest, token = self.contrib_dest(out, ps[0], yshape)
+                if u is not None:
+                    out.append(f"np.multiply({s}, {_lit(u)}, out={dest})")
+                else:
+                    out.append(
+                        f"np.multiply({self.gy_arr(node)}, {s}, out={dest})"
+                    )
+                self.finish_contrib(out, dest, token)
+        elif kind == "relu":
+            if ps[0].requires_grad:
+                mask = self.tmp(yshape, "?")
+                out.append(f"np.greater({self.dname(ps[0])}, 0, out={mask})")
+                dest, token = self.contrib_dest(out, ps[0], yshape)
+                if u is not None:
+                    out.append(f"np.multiply({mask}, {_lit(u)}, out={dest})")
+                else:
+                    out.append(
+                        f"np.multiply({self.gy_arr(node)}, {mask}, "
+                        f"out={dest})"
+                    )
+                self.finish_contrib(out, dest, token)
+        elif kind == "sigmoid":
+            if ps[0].requires_grad:
+                y = self.dname(node)
+                s = self.tmp(yshape)
+                s2 = self.tmp(yshape)
+                if u is not None:
+                    out.append(f"np.multiply({y}, {_lit(u)}, out={s})")
+                else:
+                    out.append(
+                        f"np.multiply({self.gy_arr(node)}, {y}, out={s})"
+                    )
+                out.append(f"np.subtract(1.0, {y}, out={s2})")
+                dest, token = self.contrib_dest(out, ps[0], yshape)
+                out.append(f"np.multiply({s}, {s2}, out={dest})")
+                self.finish_contrib(out, dest, token)
+        elif kind == "gaussian":
+            if ps[0].requires_grad:
+                a, y = self.dname(ps[0]), self.dname(node)
+                sg = self.scal(params["sigma"], out)
+                s = self.tmp(yshape)
+                s2 = self.tmp(yshape)
+                if u is not None:
+                    out.append(f"np.multiply({y}, {_lit(u)}, out={s})")
+                else:
+                    out.append(
+                        f"np.multiply({self.gy_arr(node)}, {y}, out={s})"
+                    )
+                out.append(f"np.negative({a}, out={s2})")
+                out.append(f"np.divide({s2}, {sg} ** 2, out={s2})")
+                dest, token = self.contrib_dest(out, ps[0], yshape)
+                out.append(f"np.multiply({s}, {s2}, out={dest})")
+                self.finish_contrib(out, dest, token)
+        elif kind == "pbqu":
+            if ps[0].requires_grad:
+                a = self.dname(ps[0])
+                k = self.persist(node, "k", yshape)
+                den = self.persist(node, "den", yshape)
+                s = self.tmp(yshape)
+                s2 = self.tmp(yshape)
+                if u == -1.0:
+                    # -((a * -2) * k) folds exactly to (a * 2) * k.
+                    out.append(f"np.multiply({a}, 2.0, out={s})")
+                    out.append(f"np.multiply({s}, {k}, out={s})")
+                else:
+                    out.append(f"np.multiply({a}, -2.0, out={s})")
+                    out.append(f"np.multiply({s}, {k}, out={s})")
+                    if u is None:
+                        out.append(
+                            f"np.multiply({self.gy_arr(node)}, {s}, out={s})"
+                        )
+                    elif u != 1.0:
+                        out.append(f"np.multiply({s}, {_lit(u)}, out={s})")
+                out.append(f"np.multiply({den}, {den}, out={s2})")
+                dest, token = self.contrib_dest(out, ps[0], yshape)
+                out.append(f"np.divide({s}, {s2}, out={dest})")
+                self.finish_contrib(out, dest, token)
+        elif kind in ("tnorm", "tconorm"):
+            self._backward_tnorm(node, kind, params, u)
+        elif kind == "where":
+            self._backward_select(node, self.const(params["cond"]), u)
+        elif kind == "maximum":
+            mask = self.tmp(yshape, "?")
+            out.append(
+                f"np.greater_equal({self.dname(ps[0])}, "
+                f"{self.dname(ps[1])}, out={mask})"
+            )
+            self._backward_select(node, mask, u)
+        elif kind == "minimum":
+            mask = self.tmp(yshape, "?")
+            out.append(
+                f"np.less_equal({self.dname(ps[0])}, "
+                f"{self.dname(ps[1])}, out={mask})"
+            )
+            self._backward_select(node, mask, u)
+        elif kind == "concat":
+            axis = params["axis"]
+            offset = 0
+            gy = None if u is not None else self.gy_arr(node)
+            for p, size in zip(ps, params["sizes"]):
+                idx = tuple(
+                    slice(offset, offset + size) if i == axis else slice(None)
+                    for i in range(node.data.ndim)
+                )
+                offset += size
+                if not p.requires_grad:
+                    continue
+                if u is not None:
+                    self.push_uniform(out, p, u)
+                else:
+                    c = self.const(idx)
+                    self.accum(out, p, f"{gy}[{c}]", tuple(p.data.shape))
+        elif kind == "stack":
+            axis = params["axis"] if params["axis"] >= 0 else (
+                node.data.ndim + params["axis"]
+            )
+            gy = None if u is not None else self.gy_arr(node)
+            for i, p in enumerate(ps):
+                if not p.requires_grad:
+                    continue
+                if u is not None:
+                    self.push_uniform(out, p, u)
+                    continue
+                idx = tuple(
+                    i if d == axis else slice(None)
+                    for d in range(node.data.ndim)
+                )
+                c = self.const(idx)
+                self.accum(out, p, f"{gy}[{c}]", tuple(p.data.shape))
+        else:  # pragma: no cover - forward pass already rejected it
+            raise _Unsupported(f"unsupported op kind {kind!r}")
+
+    def _pow_operand(self, a: str, e2, yshape: tuple) -> str | None:
+        # numpy lowers small scalar exponents of ``**`` to dedicated
+        # ufuncs; mirror that mapping so values stay bitwise-equal.
+        out = self.bwd_lines
+        if e2 == 1:
+            return a
+        if e2 == 0:
+            return None
+        s2 = self.tmp(yshape)
+        if e2 == 2:
+            out.append(f"np.square({a}, out={s2})")
+        elif e2 == 0.5:
+            out.append(f"np.sqrt({a}, out={s2})")
+        elif e2 == -1:
+            out.append(f"np.reciprocal({a}, out={s2})")
+        else:
+            out.append(f"np.power({a}, {_lit(e2)}, out={s2})")
+        return s2
+
+    def _backward_pow(self, node: Tensor, exponent, u: float | None) -> None:
+        out = self.bwd_lines
+        parent = node._parents[0]
+        yshape = tuple(node.data.shape)
+        a = self.dname(parent)
+        e2 = exponent - 1
+        if u is not None:
+            # The walker's first op is gy * exponent; fold it in Python
+            # (double multiply either way, bitwise-equal).
+            m = float(u * exponent)
+            operand = self._pow_operand(a, e2, yshape)
+            if operand is None:
+                self.push_uniform(out, parent, m)
+                return
+            dest, token = self.contrib_dest(out, parent, yshape)
+            out.append(f"np.multiply({operand}, {_lit(m)}, out={dest})")
+            self.finish_contrib(out, dest, token)
+            return
+        gy = self.gy_arr(node)
+        s = self.tmp(yshape)
+        out.append(f"np.multiply({gy}, {_lit(exponent)}, out={s})")
+        operand = self._pow_operand(a, e2, yshape)
+        if operand is None:
+            self.accum(out, parent, s, yshape)
+            return
+        dest, token = self.contrib_dest(out, parent, yshape)
+        out.append(f"np.multiply({s}, {operand}, out={dest})")
+        self.finish_contrib(out, dest, token)
+
+    def _backward_matmul(self, node: Tensor) -> None:
+        # gemms need an array gradient; a still-uniform gy materializes.
+        out = self.bwd_lines
+        a, b = node._parents
+        an, bn = self.dname(a), self.dname(b)
+        ashape, bshape = tuple(a.data.shape), tuple(b.data.shape)
+        yshape = tuple(node.data.shape)
+        if not (a.requires_grad or b.requires_grad):
+            return
+        gy = self.gy_arr(node)
+        if len(ashape) == 1 and len(bshape) == 1:
+            if a.requires_grad:
+                dest, token = self.contrib_dest(out, a, bshape)
+                out.append(f"np.multiply({gy}, {bn}, out={dest})")
+                self.finish_contrib(out, dest, token)
+            if b.requires_grad:
+                dest, token = self.contrib_dest(out, b, ashape)
+                out.append(f"np.multiply({gy}, {an}, out={dest})")
+                self.finish_contrib(out, dest, token)
+        elif len(ashape) == 2 and len(bshape) == 1:
+            if a.requires_grad:
+                n, m = ashape
+                dest, token = self.contrib_dest(out, a, ashape)
+                out.append(
+                    f"np.multiply({gy}.reshape({n}, 1), "
+                    f"{bn}.reshape(1, {m}), out={dest})"
+                )
+                self.finish_contrib(out, dest, token)
+            if b.requires_grad:
+                dest, token = self.contrib_dest(out, b, bshape)
+                out.append(f"np.matmul({an}.T, {gy}, out={dest})")
+                self.finish_contrib(out, dest, token)
+        elif len(ashape) == 1 and len(bshape) == 2:
+            if a.requires_grad:
+                dest, token = self.contrib_dest(out, a, ashape)
+                out.append(f"np.matmul({bn}, {gy}, out={dest})")
+                self.finish_contrib(out, dest, token)
+            if b.requires_grad:
+                n, m = bshape
+                dest, token = self.contrib_dest(out, b, bshape)
+                out.append(
+                    f"np.multiply({an}.reshape({n}, 1), "
+                    f"{gy}.reshape(1, {m}), out={dest})"
+                )
+                self.finish_contrib(out, dest, token)
+        else:
+            swapped_b = bshape[:-2] + (bshape[-1], bshape[-2])
+            swapped_a = ashape[:-2] + (ashape[-1], ashape[-2])
+            if a.requires_grad:
+                cshape = _matmul_result_shape(yshape, swapped_b)
+                dest, token = self.contrib_dest(out, a, cshape)
+                out.append(
+                    f"np.matmul({gy}, {bn}.swapaxes(-1, -2), out={dest})"
+                )
+                self.finish_contrib(out, dest, token)
+            if b.requires_grad:
+                cshape = _matmul_result_shape(swapped_a, yshape)
+                dest, token = self.contrib_dest(out, b, cshape)
+                out.append(
+                    f"np.matmul({an}.swapaxes(-1, -2), {gy}, out={dest})"
+                )
+                self.finish_contrib(out, dest, token)
+
+    def _backward_sum(self, node: Tensor, params: dict) -> None:
+        parent = node._parents[0]
+        gy = self.gy_arr(node)
+        g = self.gname(parent)
+        axis, keepdims = params["axis"], params["keepdims"]
+        if axis is None or keepdims:
+            src = gy
+        else:
+            pshape = parent.data.shape
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            axes = tuple(ax if ax >= 0 else len(pshape) + ax for ax in axes)
+            expanded = tuple(
+                1 if i in axes else d for i, d in enumerate(pshape)
+            )
+            src = f"{gy}.reshape({expanded!r})"
+        if self._claim(parent):
+            self.bwd_lines.append(f"np.copyto({g}, {src})")
+            return
+        self._demote_uniform(self.bwd_lines, parent)
+        self.bwd_lines.append(f"np.add({g}, {src}, out={g})")
+
+    def _backward_prod(
+        self, node: Tensor, params: dict, u: float | None
+    ) -> None:
+        # Mirrors the closure verbatim, zero-robust branch included; the
+        # branch is data-dependent so this op allocates like the walker.
+        parent = node._parents[0]
+        a = self.dname(parent)
+        axis, keepdims = params["axis"], params["keepdims"]
+        pshape = tuple(parent.data.shape)
+        if u is not None:
+            gexpr = _lit(u)
+        elif keepdims:
+            gexpr = self.gy_arr(node)
+        else:
+            gy = self.gy_arr(node)
+            ax = axis if axis >= 0 else len(pshape) + axis
+            expanded = tuple(
+                1 if i == ax else d for i, d in enumerate(pshape)
+            )
+            gexpr = f"{gy}.reshape({expanded!r})"
+        contrib = self.tmp(pshape)
+        out = self.bwd_lines
+        out.append(f"if not ({a} == 0.0).any():")
+        out.append(
+            f"    {contrib}[...] = {gexpr} * "
+            f"{a}.prod(axis={axis!r}, keepdims=True) / {a}"
+        )
+        out.append("else:")
+        out.append(f"    {contrib}[...] = {gexpr} * _xp({a}, {axis!r})")
+        self.accum(out, parent, contrib, pshape)
+
+    def _backward_tnorm(
+        self, node: Tensor, kind: str, params: dict, u: float | None
+    ) -> None:
+        values, gates = node._parents
+        axis = params["axis"]
+        inner = params["inner"]
+        inner_name = self.const(inner)
+        ishape = tuple(inner.shape)
+        out = self.bwd_lines
+        ax = axis if axis >= 0 else len(ishape) + axis
+        expanded = tuple(
+            1 if i == ax else d for i, d in enumerate(ishape)
+        )
+        left = self.persist(node, "xl", ishape)
+        right = self.persist(node, "xr", ishape)
+        ep = self.persist(node, "ep", ishape)
+        out.append(f"_xpi({inner_name}, {ax}, {left}, {right}, {ep})")
+        if u is None:
+            out.append(
+                f"np.multiply({self.gy_arr(node)}.reshape({expanded!r}), "
+                f"{ep}, out={ep})"
+            )
+        elif u != 1.0:
+            out.append(f"np.multiply({ep}, {_lit(u)}, out={ep})")
+        v, g = self.dname(values), self.dname(gates)
+        if values.requires_grad:
+            dest, token = self.contrib_dest(out, values, ishape)
+            out.append(f"np.multiply({ep}, {g}, out={dest})")
+            self.finish_contrib(out, dest, token)
+        if gates.requires_grad:
+            if kind == "tnorm":
+                s = self.tmp(ishape)
+                out.append(f"np.subtract({v}, 1.0, out={s})")
+                dest, token = self.contrib_dest(out, gates, ishape)
+                out.append(f"np.multiply({ep}, {s}, out={dest})")
+            else:
+                dest, token = self.contrib_dest(out, gates, ishape)
+                out.append(f"np.multiply({ep}, {v}, out={dest})")
+            self.finish_contrib(out, dest, token)
+
+    def _backward_select(
+        self, node: Tensor, mask: str, u: float | None
+    ) -> None:
+        """where/maximum/minimum: route the gradient through a mask.
+
+        The walker's ``np.where(mask, g, 0)`` select is emitted as a
+        boolean multiply — ``copyto(where=)`` is pathologically slow on
+        small arrays.  Value-equal for finite gradients (the sign of
+        masked-out zeros can differ).
+        """
+        a, b = node._parents
+        yshape = tuple(node.data.shape)
+        out = self.bwd_lines
+        if a.requires_grad:
+            dest, token = self.contrib_dest(out, a, yshape)
+            if u is not None:
+                out.append(f"np.multiply({mask}, {_lit(u)}, out={dest})")
+            else:
+                out.append(
+                    f"np.multiply({self.gy_arr(node)}, {mask}, out={dest})"
+                )
+            self.finish_contrib(out, dest, token)
+        if b.requires_grad:
+            inv = self.tmp(yshape, "?")
+            out.append(f"np.logical_not({mask}, out={inv})")
+            dest, token = self.contrib_dest(out, b, yshape)
+            if u is not None:
+                out.append(f"np.multiply({inv}, {_lit(u)}, out={dest})")
+            else:
+                out.append(
+                    f"np.multiply({self.gy_arr(node)}, {inv}, out={dest})"
+                )
+            self.finish_contrib(out, dest, token)
+
+
+class _Unsupported(Exception):
+    """Internal: an op the plan compiler cannot lower."""
+
+
+def compile_plan(
+    nodes: list[Tensor], root: Tensor, jit: bool = False
+) -> ReplayProgram | None:
+    """Compile a recorded tape; None (never an error) when unsupported."""
+    compile_plan.last_failure = None  # type: ignore[attr-defined]
+    if not nodes:
+        compile_plan.last_failure = "empty tape"  # type: ignore[attr-defined]
+        return None
+    compiler = _PlanCompiler(nodes, root, jit)
+    program = compiler.compile()
+    if program is None:
+        compile_plan.last_failure = compiler.failure  # type: ignore[attr-defined]
+    return program
+
+
+compile_plan.last_failure = None  # type: ignore[attr-defined]
+
+
+# -- backend registry -------------------------------------------------------
+
+
+class Backend:
+    """Strategy for replaying a recorded tape."""
+
+    name = "backend"
+
+    def prepare(self, nodes: list[Tensor], root: Tensor) -> ReplayProgram | None:
+        """Compile a replay program, or None to use the closure walker."""
+        raise NotImplementedError
+
+
+class NumpyBackend(Backend):
+    """The reference closure walker (the bitwise oracle)."""
+
+    name = "numpy"
+
+    def prepare(self, nodes, root):
+        return None
+
+
+class FusedBackend(Backend):
+    """Fused straight-line numpy plan (bitwise-equal to the walker)."""
+
+    name = "fused"
+
+    def prepare(self, nodes, root):
+        return compile_plan(nodes, root, jit=False)
+
+
+class NumbaBackend(Backend):
+    """Fused plan with numba-JITted elementwise segments.
+
+    Degrades to the plain fused plan when numba is missing or any
+    segment fails to compile — never to an error.
+    """
+
+    name = "numba"
+
+    def prepare(self, nodes, root):
+        from repro.autodiff import backend_numba
+
+        return compile_plan(
+            nodes, root, jit=backend_numba.numba_available()
+        )
+
+
+_BACKENDS = {
+    "numpy": NumpyBackend,
+    "fused": FusedBackend,
+    "numba": NumbaBackend,
+}
+
+
+class UnknownBackendError(AutodiffError):
+    """Raised for a backend name outside the registry."""
+
+
+def available_backends() -> tuple[str, ...]:
+    """Selectable backend names (``auto`` resolves at tape creation)."""
+    return ("auto",) + tuple(sorted(_BACKENDS))
+
+
+def resolve_backend_name(spec: str | Backend | None) -> str:
+    """The concrete backend ``spec`` selects (resolving ``auto``)."""
+    if isinstance(spec, Backend):
+        return spec.name
+    if spec is None:
+        spec = "auto"
+    if spec == "auto":
+        from repro.autodiff import backend_numba
+
+        return "numba" if backend_numba.numba_available() else "fused"
+    if spec not in _BACKENDS:
+        raise UnknownBackendError(
+            f"unknown backend {spec!r}; expected one of "
+            f"{', '.join(available_backends())}"
+        )
+    return spec
+
+
+def get_backend(spec: str | Backend | None = None) -> Backend:
+    """Instantiate the backend ``spec`` names (default ``auto``)."""
+    if isinstance(spec, Backend):
+        return spec
+    return _BACKENDS[resolve_backend_name(spec)]()

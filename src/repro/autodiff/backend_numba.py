@@ -1,0 +1,262 @@
+"""Numba JIT of fused forward segments (optional acceleration).
+
+The plan compiler (:mod:`repro.autodiff.backend`) identifies *fused
+segments*: maximal runs of adjacent elementwise nodes over same-shape
+C-contiguous buffers (0-d operands allowed as dynamic scalars).  This
+module lowers such a segment into a single per-element loop —
+
+    def _segment(n, a0, a1, ..., s0, s1, ...):
+        for i in range(n):
+            v0 = a0[i] + a1[i]
+            v1 = math.exp(-(v0 * v0) / (2.0 * s0 * s0))
+            a2[i] = v1
+
+— and compiles it with ``numba.njit``.  Intermediate values stay in
+registers; every node's output buffer is still written so downstream
+non-fused lines and the backward pass read the same arrays.
+
+Design points:
+
+* **Lazy import, graceful fallback.**  ``numba_available()`` attempts
+  the import once; without numba (or on any compilation error) the
+  segment keeps its fused-numpy lines.  Correctness never depends on
+  numba being present.
+* **Source-keyed kernel cache.**  Two plans with the same graph
+  structure generate byte-identical source, so the jitted kernel is
+  compiled once per structure, not once per plan (multi-restart
+  training builds many structurally identical tapes).
+* **Dynamic scalars.**  0-d operands (annealed sigma/c1 boxes, lambda
+  schedule leaves) are read with ``float(...)`` on every call and
+  passed as arguments, so in-place box updates are honored.
+* **Pure-Python source.**  The generated loop body uses only ``math``
+  and indexing, so tests exec and run it without numba to validate the
+  codegen on numba-free interpreters.
+
+Numba's libm scalar routines may differ from numpy's vector routines
+in the last ulp, so jitted replays are held to a tight ``allclose``
+against the reference walker rather than bitwise equality.
+"""
+
+from __future__ import annotations
+
+import math
+import warnings
+from typing import Callable
+
+import numpy as np
+
+_numba = None
+_numba_checked = False
+
+
+def numba_available() -> bool:
+    """True when ``import numba`` succeeds (checked once, lazily)."""
+    global _numba, _numba_checked
+    if not _numba_checked:
+        _numba_checked = True
+        try:
+            import numba  # noqa: F401 - optional accelerator
+
+            _numba = numba
+        except Exception:
+            _numba = None
+    return _numba is not None
+
+
+def numba_version() -> str | None:
+    """The installed numba version, or None without numba."""
+    return _numba.__version__ if numba_available() else None
+
+
+class UnsupportedSegment(Exception):
+    """Internal: a node this codegen cannot lower to a scalar loop."""
+
+
+def _lit(value) -> str:
+    return repr(value)
+
+
+def codegen_forward(nodes, persist) -> tuple[str, list, list]:
+    """Generate a per-element loop for a run of elementwise nodes.
+
+    Args:
+        nodes: adjacent elementwise nodes in recorded order, all with
+            same-shape C-contiguous outputs (0-d parents allowed).
+        persist: callable ``(node, tag) -> ndarray`` returning the
+            plan's persisted buffer for ``node`` (pbqu's k/denominator,
+            which the backward pass reads).
+
+    Returns:
+        ``(source, arrays, scalars)`` — the kernel source (argument
+        order ``n, a0.., s0..``), the arrays to pass flattened, and the
+        scalar operands (floats or 0-d arrays, converted per call).
+    """
+    arrays: list = []
+    arr_names: dict[int, str] = {}
+    scalars: list = []
+    scal_names: dict[int, str] = {}
+    local: dict[int, str] = {}
+    body: list[str] = []
+
+    def arr(a: np.ndarray) -> str:
+        name = arr_names.get(id(a))
+        if name is None:
+            name = f"a{len(arrays)}"
+            arr_names[id(a)] = name
+            arrays.append(a)
+        return name
+
+    def scal(v) -> str:
+        if isinstance(v, np.ndarray):
+            name = scal_names.get(id(v))
+            if name is None:
+                name = f"s{len(scalars)}"
+                scal_names[id(v)] = name
+                scalars.append(v)
+            return name
+        name = f"s{len(scalars)}"
+        scalars.append(float(v))
+        return name
+
+    def val(p) -> str:
+        name = local.get(id(p))
+        if name is not None:
+            return name
+        if p.data.ndim == 0:
+            return scal(p.data)
+        return f"{arr(p.data)}[i]"
+
+    for idx, node in enumerate(nodes):
+        kind, params = node._op
+        ps = node._parents
+        v = f"v{idx}"
+        if kind == "add":
+            body.append(f"{v} = {val(ps[0])} + {val(ps[1])}")
+        elif kind == "sub":
+            body.append(f"{v} = {val(ps[0])} - {val(ps[1])}")
+        elif kind == "mul":
+            body.append(f"{v} = {val(ps[0])} * {val(ps[1])}")
+        elif kind == "div":
+            body.append(f"{v} = {val(ps[0])} / {val(ps[1])}")
+        elif kind == "neg":
+            body.append(f"{v} = -{val(ps[0])}")
+        elif kind == "abs":
+            body.append(f"{v} = abs({val(ps[0])})")
+        elif kind == "pow":
+            body.append(f"{v} = {val(ps[0])} ** {_lit(params['exponent'])}")
+        elif kind == "exp":
+            body.append(f"{v} = math.exp({val(ps[0])})")
+        elif kind == "log":
+            body.append(f"{v} = math.log({val(ps[0])})")
+        elif kind == "sqrt":
+            body.append(f"{v} = math.sqrt({val(ps[0])})")
+        elif kind == "tanh":
+            body.append(f"{v} = math.tanh({val(ps[0])})")
+        elif kind == "relu":
+            body.append(f"{v} = max({val(ps[0])}, 0.0)")
+        elif kind == "maximum":
+            body.append(f"{v} = max({val(ps[0])}, {val(ps[1])})")
+        elif kind == "minimum":
+            body.append(f"{v} = min({val(ps[0])}, {val(ps[1])})")
+        elif kind == "sigmoid":
+            x = val(ps[0])
+            body.append(f"{v}_c = min(max({x}, -500.0), 500.0)")
+            body.append(f"if {x} >= 0.0:")
+            body.append(f"    {v} = 1.0 / (1.0 + math.exp(-{v}_c))")
+            body.append("else:")
+            body.append(f"    {v}_e = math.exp({v}_c)")
+            body.append(f"    {v} = {v}_e / (1.0 + {v}_e)")
+        elif kind == "gaussian":
+            x, s = val(ps[0]), scal(params["sigma"])
+            body.append(
+                f"{v} = math.exp(-({x} * {x}) / (2.0 * {s} * {s}))"
+            )
+        elif kind == "pbqu":
+            x = val(ps[0])
+            c1, c2 = scal(params["c1"]), scal(params["c2"])
+            karr = arr(persist(node, "k"))
+            darr = arr(persist(node, "den"))
+            body.append(f"if {x} >= 0.0:")
+            body.append(f"    {v}_k = {c2} * {c2}")
+            body.append("else:")
+            body.append(f"    {v}_k = {c1} * {c1}")
+            body.append(f"{v}_d = {x} * {x} + {v}_k")
+            body.append(f"{karr}[i] = {v}_k")
+            body.append(f"{darr}[i] = {v}_d")
+            body.append(f"{v} = {v}_k / {v}_d")
+        else:
+            raise UnsupportedSegment(f"kind {kind!r}")
+        body.append(f"{arr(node.data)}[i] = {v}")
+        local[id(node)] = v
+
+    args = ", ".join(
+        ["n"]
+        + [f"a{i}" for i in range(len(arrays))]
+        + [f"s{i}" for i in range(len(scalars))]
+    )
+    lines = "\n".join(f"        {ln}" for ln in body)
+    source = f"def _segment({args}):\n    for i in range(n):\n{lines}\n"
+    return source, arrays, scalars
+
+
+# Kernel cache keyed by generated source: structurally identical plans
+# share one compiled kernel.  None marks a known-bad source.
+_KERNEL_CACHE: dict[str, object] = {}
+
+
+def _compile_kernel(source: str):
+    if source in _KERNEL_CACHE:
+        return _KERNEL_CACHE[source]
+    kernel = None
+    try:
+        ns = {"math": math}
+        exec(compile(source, "<numba-segment>", "exec"), ns)
+        # cache=True is honored for on-disk sources and silently skipped
+        # for exec'd ones; the in-process _KERNEL_CACHE is the real
+        # cross-plan cache either way.
+        kernel = _numba.njit(cache=True)(ns["_segment"])
+    except Exception:
+        kernel = None
+    _KERNEL_CACHE[source] = kernel
+    return kernel
+
+
+def jit_forward_segment(compiler, seg) -> Callable[[], None] | None:
+    """JIT one fused forward segment; None keeps the numpy lines.
+
+    ``seg`` is the plan compiler's ``(node, line_start, line_count)``
+    run.  Compilation is triggered eagerly here against the real
+    buffers (recomputing a forward idempotently), so a numba failure
+    surfaces now — while falling back is still possible — instead of
+    mid-training.
+    """
+    if not numba_available():
+        return None
+    nodes = [node for node, _, _ in seg]
+
+    def persist(node, tag):
+        name = compiler.persist(node, tag, node.data.shape)
+        return compiler.env[name]
+
+    try:
+        source, arrays, scalars = codegen_forward(nodes, persist)
+    except UnsupportedSegment:
+        return None
+    kernel = _compile_kernel(source)
+    if kernel is None:
+        return None
+    n = int(nodes[0].data.size)
+    flat = tuple(a.reshape(-1) for a in arrays)
+    boxes = tuple(scalars)
+
+    def caller() -> None:
+        kernel(n, *flat, *(float(s) for s in boxes))
+
+    try:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            caller()  # eager trigger: compile (and validate) now
+    except Exception:
+        _KERNEL_CACHE[source] = None
+        return None
+    return caller

@@ -1,8 +1,10 @@
 """Elementwise functions, combinators, and fused CLN kernels.
 
 Every op records an in-place forward closure (see
-:mod:`repro.autodiff.tape`) alongside its backward closure, except
-:func:`where`, whose precomputed condition cannot be replayed safely.
+:mod:`repro.autodiff.tape`) alongside its backward closure — including
+:func:`where`, which recomputes its condition dynamically (a callable
+condition is re-evaluated, an array condition re-read in place), so
+graphs containing it stay replayable.
 
 The fused kernels at the bottom collapse the hot CLN chains into a
 single graph node each:
@@ -39,7 +41,7 @@ def exp(x: Tensor) -> Tensor:
     def backward(grad: np.ndarray) -> None:
         x._push(grad * data)
 
-    return Tensor._result(data, (x,), backward, forward)
+    return Tensor._result(data, (x,), backward, forward, ("exp", None))
 
 
 def log(x: Tensor) -> Tensor:
@@ -51,7 +53,7 @@ def log(x: Tensor) -> Tensor:
     def backward(grad: np.ndarray) -> None:
         x._push(grad / x.data)
 
-    return Tensor._result(data, (x,), backward, forward)
+    return Tensor._result(data, (x,), backward, forward, ("log", None))
 
 
 def sqrt(x: Tensor) -> Tensor:
@@ -63,7 +65,7 @@ def sqrt(x: Tensor) -> Tensor:
     def backward(grad: np.ndarray) -> None:
         x._push(grad * 0.5 / np.maximum(data, 1e-300))
 
-    return Tensor._result(data, (x,), backward, forward)
+    return Tensor._result(data, (x,), backward, forward, ("sqrt", None))
 
 
 def _stable_sigmoid(x: np.ndarray) -> np.ndarray:
@@ -85,7 +87,7 @@ def sigmoid(x: Tensor) -> Tensor:
     def backward(grad: np.ndarray) -> None:
         x._push(grad * data * (1.0 - data))
 
-    return Tensor._result(data, (x,), backward, forward)
+    return Tensor._result(data, (x,), backward, forward, ("sigmoid", None))
 
 
 def tanh(x: Tensor) -> Tensor:
@@ -97,7 +99,7 @@ def tanh(x: Tensor) -> Tensor:
     def backward(grad: np.ndarray) -> None:
         x._push(grad * (1.0 - data**2))
 
-    return Tensor._result(data, (x,), backward, forward)
+    return Tensor._result(data, (x,), backward, forward, ("tanh", None))
 
 
 def relu(x: Tensor) -> Tensor:
@@ -109,7 +111,7 @@ def relu(x: Tensor) -> Tensor:
     def backward(grad: np.ndarray) -> None:
         x._push(grad * (x.data > 0))
 
-    return Tensor._result(data, (x,), backward, forward)
+    return Tensor._result(data, (x,), backward, forward, ("relu", None))
 
 
 def gaussian(x: Tensor, sigma) -> Tensor:
@@ -132,7 +134,9 @@ def gaussian(x: Tensor, sigma) -> Tensor:
     def backward(grad: np.ndarray) -> None:
         x._push(grad * data * (-x.data / float(sigma) ** 2))
 
-    return Tensor._result(data, (x,), backward, forward)
+    return Tensor._result(
+        data, (x,), backward, forward, ("gaussian", {"sigma": sigma})
+    )
 
 
 def pbqu(t: Tensor, c1, c2) -> Tensor:
@@ -166,7 +170,9 @@ def pbqu(t: Tensor, c1, c2) -> Tensor:
         denom = td * td + k
         t._push(grad * (-2.0 * td * k) / (denom * denom))
 
-    return Tensor._result(data, (t,), backward, forward)
+    return Tensor._result(
+        data, (t,), backward, forward, ("pbqu", {"c1": c1, "c2": c2})
+    )
 
 
 def fused_gated_tnorm(values: Tensor, gates: Tensor, axis: int = -1) -> Tensor:
@@ -197,7 +203,10 @@ def fused_gated_tnorm(values: Tensor, gates: Tensor, axis: int = -1) -> Tensor:
         values._push(g_inner * gates.data)
         gates._push(g_inner * (values.data - 1.0))
 
-    return Tensor._result(data, (values, gates), backward, forward)
+    return Tensor._result(
+        data, (values, gates), backward, forward,
+        ("tnorm", {"axis": axis, "inner": inner}),
+    )
 
 
 def fused_gated_tconorm(values: Tensor, gates: Tensor, axis: int = -1) -> Tensor:
@@ -218,25 +227,49 @@ def fused_gated_tconorm(values: Tensor, gates: Tensor, axis: int = -1) -> Tensor
         values._push(g_inner * gates.data)
         gates._push(g_inner * values.data)
 
-    return Tensor._result(data, (values, gates), backward, forward)
+    return Tensor._result(
+        data, (values, gates), backward, forward,
+        ("tconorm", {"axis": axis, "inner": inner}),
+    )
 
 
-def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+def where(condition, a: Tensor, b: Tensor) -> Tensor:
     """Differentiable piecewise selection; ``condition`` is data, not a node.
 
-    Not tape-replayable: the condition is frozen at build time, so a
-    graph containing ``where`` falls back to eager re-tracing.  Use
-    :func:`pbqu` (or a dedicated fused kernel) on hot paths.
+    ``condition`` may be a boolean array or a zero-argument callable
+    returning one.  Either way the node is tape-replayable: the forward
+    closure recomputes the selection from the parents' *current* data
+    on every replay, and a callable condition is re-evaluated first —
+    so data-dependent branches (``where(lambda: x.data >= 0, ...)``)
+    track the leaves instead of freezing at record time.  An array
+    condition is re-read in place, so updating the caller's boolean
+    buffer between epochs also works.  Prefer :func:`pbqu` (or a
+    dedicated fused kernel) on hot paths.
     """
-    cond = np.asarray(condition, dtype=bool)
+    cond_fn = condition if callable(condition) else None
+    if cond_fn is not None:
+        # Own buffer, refreshed in place on every replay.
+        cond = np.array(cond_fn(), dtype=bool)
+    else:
+        # Shared when already boolean: in-place caller updates track.
+        cond = np.asarray(condition, dtype=bool)
     data = np.where(cond, a.data, b.data)
+
+    def forward() -> None:
+        if cond_fn is not None:
+            cond[...] = cond_fn()
+        np.copyto(data, b.data)
+        np.copyto(data, a.data, where=cond)
 
     def backward(grad: np.ndarray) -> None:
         g = np.asarray(grad, dtype=np.float64)
         a._push(np.where(cond, g, 0.0))
         b._push(np.where(cond, 0.0, g))
 
-    return Tensor._result(data, (a, b), backward)
+    return Tensor._result(
+        data, (a, b), backward, forward,
+        ("where", {"cond": cond, "cond_fn": cond_fn}),
+    )
 
 
 def maximum(a: Tensor, b: Tensor) -> Tensor:
@@ -252,7 +285,7 @@ def maximum(a: Tensor, b: Tensor) -> Tensor:
         a._push(np.where(take_a, g, 0.0))
         b._push(np.where(take_a, 0.0, g))
 
-    return Tensor._result(data, (a, b), backward, forward)
+    return Tensor._result(data, (a, b), backward, forward, ("maximum", None))
 
 
 def minimum(a: Tensor, b: Tensor) -> Tensor:
@@ -268,7 +301,7 @@ def minimum(a: Tensor, b: Tensor) -> Tensor:
         a._push(np.where(take_a, g, 0.0))
         b._push(np.where(take_a, 0.0, g))
 
-    return Tensor._result(data, (a, b), backward, forward)
+    return Tensor._result(data, (a, b), backward, forward, ("minimum", None))
 
 
 def concat(tensors: list[Tensor], axis: int = 0) -> Tensor:
@@ -290,7 +323,10 @@ def concat(tensors: list[Tensor], axis: int = 0) -> Tensor:
             tensor._push(g[tuple(index)])
             offset += size
 
-    return Tensor._result(data, tuple(tensors), backward, forward)
+    return Tensor._result(
+        data, tuple(tensors), backward, forward,
+        ("concat", {"axis": axis, "sizes": sizes}),
+    )
 
 
 def stack(tensors: list[Tensor], axis: int = 0) -> Tensor:
@@ -307,4 +343,6 @@ def stack(tensors: list[Tensor], axis: int = 0) -> Tensor:
         for i, tensor in enumerate(tensors):
             tensor._push(np.take(g, i, axis=axis))
 
-    return Tensor._result(data, tuple(tensors), backward, forward)
+    return Tensor._result(
+        data, tuple(tensors), backward, forward, ("stack", {"axis": axis})
+    )

@@ -16,13 +16,20 @@ order), then subsequent calls
 
 No graph nodes, topological sorts, or gradient arrays are allocated
 after the first epoch.  Values that change between epochs (λ schedules,
-the annealed σ/c1) must live in leaf tensors or 0-d numpy "boxes" that
-the loop updates *in place*; closures read them dynamically.
+the annealed σ/c1, ``where`` conditions) must live in leaf tensors,
+0-d numpy "boxes" updated *in place*, or condition callables; replays
+read them dynamically.
 
-If any recorded node lacks a forward closure (e.g. ``where`` with a
-precomputed condition, whose frozen mask would go stale), the tape
-falls back to eager re-tracing: ``step`` simply calls the builder and
-``backward`` every epoch.  Correctness never depends on replayability.
+On top of the closure walker sits a *compiled* replay: a
+:mod:`~repro.autodiff.backend` plan lowers the recorded node list into
+straight-line numpy (optionally numba-jitted) code over the same
+buffers, removing the per-op Python dispatch.  The walker remains the
+reference — ``Tape(backend="numpy")`` never compiles, and any graph
+the plan compiler cannot lower silently replays through the walker
+(``stats()["fallback_reason"]`` says why).  If any recorded node lacks
+a forward closure the tape degrades one step further, to eager
+re-tracing: ``step`` simply calls the builder and ``backward`` every
+epoch.  Correctness never depends on replayability or compilability.
 """
 
 from __future__ import annotations
@@ -34,16 +41,31 @@ import numpy as np
 from repro.errors import AutodiffError
 from repro.autodiff import tensor as _tensor_mod
 from repro.autodiff.tensor import Tensor
+from repro.autodiff import backend as _backend_mod
+from repro.autodiff.backend import Backend, ReplayProgram, get_backend
 
 
 class Tape:
-    """Records one scalar-rooted graph and replays it with reused buffers."""
+    """Records one scalar-rooted graph and replays it with reused buffers.
 
-    def __init__(self) -> None:
+    Args:
+        backend: replay strategy — ``"auto"`` (default: numba when
+            importable, else the fused numpy plan), ``"numpy"`` (the
+            reference closure walker), ``"fused"``, ``"numba"``, or a
+            :class:`~repro.autodiff.backend.Backend` instance.
+    """
+
+    def __init__(self, backend: str | Backend | None = None) -> None:
+        self._backend_obj = get_backend(backend)
+        self.backend = self._backend_obj.name
         self._root: Tensor | None = None
         self._nodes: list[Tensor] | None = None
+        self._plan: ReplayProgram | None = None
+        self._plan_failed = False
+        self.plan_failure: str | None = None
         self.replayable = False
         self.replays = 0
+        self.eager_steps = 0
 
     @property
     def recorded(self) -> bool:
@@ -68,15 +90,38 @@ class Tape:
         if self._nodes is None:
             root = self._record(build)
             root.backward()
+            self.eager_steps += 1
             return root
         if not self.replayable:
             root = build()
             root.backward()
+            self.eager_steps += 1
             return root
-        self._replay_forward()
-        self._replay_backward()
+        plan = self._ensure_plan()
+        if plan is None:
+            self._replay_forward()
+            self._replay_backward()
+        else:
+            plan.prepare_grads()
+            plan.forward()
+            plan.backward()
         self.replays += 1
         return self._root  # type: ignore[return-value]
+
+    def stats(self) -> dict:
+        """Tape/plan observability counters (see ``repro profile``)."""
+        plan = self._plan
+        return {
+            "backend": self.backend,
+            "active_backend": self.backend if plan is not None else "numpy",
+            "n_nodes": self.n_nodes,
+            "replayable": self.replayable,
+            "replays": self.replays,
+            "eager_steps": self.eager_steps,
+            "fused_segments": plan.n_segments if plan is not None else 0,
+            "jitted_segments": plan.n_jitted if plan is not None else 0,
+            "fallback_reason": self.plan_failure,
+        }
 
     # -- internals ---------------------------------------------------------
 
@@ -99,6 +144,34 @@ class Tape:
             node._forward_fn is not None for node in nodes
         )
         return root
+
+    def _ensure_plan(self) -> ReplayProgram | None:
+        """The compiled plan for this tape, (re)built lazily.
+
+        Compilation happens on the first replay — after the recording
+        step's eager backward, so every buffer exists.  A stale plan
+        (a leaf's ``.data`` storage was swapped for a new array) is
+        dropped and recompiled against the new storage.
+        """
+        if self._plan is not None:
+            if self._plan.guards_ok():
+                return self._plan
+            self._plan = None
+            self._plan_failed = False
+        if self._plan_failed or self.backend == "numpy":
+            return None
+        plan = self._backend_obj.prepare(self._nodes, self._root)
+        if plan is None:
+            self._plan_failed = True
+            self.plan_failure = _backend_mod.compile_plan.last_failure
+            return None
+        # The plan owns interior gradient buffers; drop stale references
+        # left by the eager recording step (the walker also ends every
+        # replay with interior ``grad`` unset).
+        for node in self._nodes:  # type: ignore[union-attr]
+            node.grad = None
+        self._plan = plan
+        return plan
 
     def _replay_forward(self) -> None:
         for node in self._nodes:  # type: ignore[union-attr]

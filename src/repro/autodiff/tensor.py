@@ -107,6 +107,7 @@ class Tensor:
         "_backward_fn",
         "_forward_fn",
         "_grad_buf",
+        "_op",
     )
 
     # Make numpy defer to Tensor's reflected operators: without this,
@@ -122,6 +123,7 @@ class Tensor:
         self._backward_fn: Callable[[np.ndarray], None] | None = None
         self._forward_fn: Callable[[], None] | None = None
         self._grad_buf: np.ndarray | None = None
+        self._op: tuple[str, dict | None] | None = None
 
     # -- graph construction -------------------------------------------------
 
@@ -131,7 +133,16 @@ class Tensor:
         parents: Iterable["Tensor"],
         backward_fn: Callable[[np.ndarray], None],
         forward_fn: Callable[[], None] | None = None,
+        op: tuple[str, dict | None] | None = None,
     ) -> "Tensor":
+        """Build a graph node.
+
+        ``op`` is structured metadata — ``(kind, params)`` — describing
+        the operation the closures implement.  The plan compiler
+        (:mod:`repro.autodiff.backend`) lowers a recorded tape through
+        it; nodes without metadata make the tape fall back to the
+        closure walker, never to wrong answers.
+        """
         parents = tuple(parents)
         track = _GRAD_ENABLED and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=False)
@@ -140,6 +151,7 @@ class Tensor:
             out._parents = parents
             out._backward_fn = backward_fn
             out._forward_fn = forward_fn
+            out._op = op
             if _TAPE_SINK is not None:
                 _TAPE_SINK.append(out)
         return out
@@ -249,7 +261,7 @@ class Tensor:
             self._push(grad)
             other._push(grad)
 
-        return Tensor._result(data, (self, other), backward, forward)
+        return Tensor._result(data, (self, other), backward, forward, ("add", None))
 
     __radd__ = __add__
 
@@ -262,7 +274,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._push(-grad)
 
-        return Tensor._result(data, (self,), backward, forward)
+        return Tensor._result(data, (self,), backward, forward, ("neg", None))
 
     def __sub__(self, other) -> "Tensor":
         other = self._coerce(other)
@@ -275,7 +287,7 @@ class Tensor:
             self._push(grad)
             other._push(-grad)
 
-        return Tensor._result(data, (self, other), backward, forward)
+        return Tensor._result(data, (self, other), backward, forward, ("sub", None))
 
     def __rsub__(self, other) -> "Tensor":
         return self._coerce(other) - self
@@ -291,7 +303,7 @@ class Tensor:
             self._push(grad * other.data)
             other._push(grad * self.data)
 
-        return Tensor._result(data, (self, other), backward, forward)
+        return Tensor._result(data, (self, other), backward, forward, ("mul", None))
 
     __rmul__ = __mul__
 
@@ -306,7 +318,7 @@ class Tensor:
             self._push(grad / other.data)
             other._push(-grad * self.data / (other.data**2))
 
-        return Tensor._result(data, (self, other), backward, forward)
+        return Tensor._result(data, (self, other), backward, forward, ("div", None))
 
     def __rtruediv__(self, other) -> "Tensor":
         return self._coerce(other) / self
@@ -322,7 +334,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._push(grad * exponent * self.data ** (exponent - 1))
 
-        return Tensor._result(data, (self,), backward, forward)
+        return Tensor._result(data, (self,), backward, forward, ("pow", {"exponent": exponent}))
 
     def __matmul__(self, other) -> "Tensor":
         other = self._coerce(other)
@@ -353,7 +365,7 @@ class Tensor:
                 self._push(grad @ b.swapaxes(-1, -2))
                 other._push(a.swapaxes(-1, -2) @ grad)
 
-        return Tensor._result(data, (self, other), backward, forward)
+        return Tensor._result(data, (self, other), backward, forward, ("matmul", None))
 
     def abs(self) -> "Tensor":
         """Elementwise absolute value (gradient 0 chosen at 0)."""
@@ -365,7 +377,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._push(grad * np.sign(self.data))
 
-        return Tensor._result(data, (self,), backward, forward)
+        return Tensor._result(data, (self,), backward, forward, ("abs", None))
 
     def __abs__(self) -> "Tensor":
         return self.abs()
@@ -384,7 +396,10 @@ class Tensor:
                 g = np.expand_dims(g, axis=axis)
             self._push(np.broadcast_to(g, self.data.shape))
 
-        return Tensor._result(data, (self,), backward, forward)
+        return Tensor._result(
+            data, (self,), backward, forward,
+            ("sum", {"axis": axis, "keepdims": keepdims}),
+        )
 
     def mean(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
         count = self.data.size if axis is None else self.data.shape[axis]
@@ -415,7 +430,10 @@ class Tensor:
             else:
                 self._push(g * exclusive_prod(x, axis))
 
-        return Tensor._result(data, (self,), backward, forward)
+        return Tensor._result(
+            data, (self,), backward, forward,
+            ("prod", {"axis": axis, "keepdims": keepdims}),
+        )
 
     def reshape(self, *shape: int) -> "Tensor":
         data = self.data.reshape(*shape)
@@ -428,7 +446,9 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._push(np.asarray(grad).reshape(self.data.shape))
 
-        return Tensor._result(data, (self,), backward, forward)
+        return Tensor._result(
+            data, (self,), backward, forward, ("reshape", {"is_view": is_view})
+        )
 
     @property
     def T(self) -> "Tensor":
@@ -442,7 +462,9 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._push(np.asarray(grad).T)
 
-        return Tensor._result(data, (self,), backward, forward)
+        return Tensor._result(
+            data, (self,), backward, forward, ("T", {"is_view": is_view})
+        )
 
     def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
         """Exchange two axes (a view, like ``np.swapaxes``).
@@ -459,7 +481,10 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._push(np.asarray(grad).swapaxes(axis1, axis2))
 
-        return Tensor._result(data, (self,), backward, forward)
+        return Tensor._result(
+            data, (self,), backward, forward,
+            ("swapaxes", {"axis1": axis1, "axis2": axis2}),
+        )
 
     def __getitem__(self, index) -> "Tensor":
         data = self.data[index]
@@ -474,7 +499,10 @@ class Tensor:
             np.add.at(full, index, np.asarray(grad, dtype=np.float64))
             self._push(full)
 
-        return Tensor._result(data, (self,), backward, forward)
+        return Tensor._result(
+            data, (self,), backward, forward,
+            ("getitem", {"index": index, "is_view": is_view}),
+        )
 
     # -- gradient plumbing -------------------------------------------------------
 

@@ -17,7 +17,9 @@ Commands:
   runs with different ``--solver`` values are directly comparable.
 * ``profile <nla-problem>`` — run one solver and render the per-stage
   wall-clock breakdown (collect/train/extract/check) as a table, so hot
-  paths are visible without reading JSON.
+  paths are visible without reading JSON; also prints the resolved
+  tape-replay backend and plan stats (node count, fused/jitted
+  segments, replay vs eager epochs).
 * ``enqueue --queue-dir PATH`` — enqueue a suite on a journaled work
   queue (items already journaled are skipped, so re-enqueueing a
   half-finished run is a no-op for the finished part).
@@ -30,7 +32,9 @@ Commands:
   one input assignment and dump the loop-head trace.
 
 ``run``, ``run-all``, and ``profile`` accept ``--cache-dir PATH`` to
-persist traces/term matrices on disk across invocations.
+persist traces/term matrices on disk across invocations, and
+``--backend NAME`` to pick the tape-replay backend (``auto`` /
+``numpy`` / ``fused`` / ``numba``).
 """
 
 from __future__ import annotations
@@ -41,6 +45,7 @@ import sys
 from fractions import Fraction
 
 from repro.api import InvariantService, solver_entries
+from repro.autodiff import available_backends
 from repro.bench import NLA_PROBLEMS, nla_problem, suite_problems, SUITES
 from repro.errors import ReproError
 from repro.infer import InferenceConfig
@@ -101,7 +106,8 @@ def _cmd_solvers(_args: argparse.Namespace) -> int:
 def _cmd_profile(args: argparse.Namespace) -> int:
     problem = nla_problem(args.problem)
     service = InvariantService(
-        InferenceConfig(max_epochs=args.epochs), cache_dir=args.cache_dir
+        InferenceConfig(max_epochs=args.epochs, backend=args.backend),
+        cache_dir=args.cache_dir,
     )
     try:
         result = service.solve(problem, solver=args.solver)
@@ -129,13 +135,39 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     )
     stats = ", ".join(f"{k}={v}" for k, v in service.cache_stats.items())
     print(f"cache:    {stats}")
+    if result.backend:
+        print(f"backend:  {result.backend}")
+    tape_stats = _last_tape_stats()
+    if tape_stats is not None:
+        replay = ", ".join(
+            f"{key}={tape_stats[key]}"
+            for key in (
+                "active_backend",
+                "n_nodes",
+                "fused_segments",
+                "jitted_segments",
+                "replays",
+                "eager_steps",
+            )
+        )
+        print(f"replay:   {replay}")
+        if tape_stats.get("fallback_reason"):
+            print(f"fallback: {tape_stats['fallback_reason']}")
     return 0
+
+
+def _last_tape_stats() -> dict | None:
+    """``tape.stats()`` from the last training loop in this process."""
+    from repro.cln import train
+
+    return train.LAST_TAPE_STATS
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     problem = nla_problem(args.problem)
     service = InvariantService(
-        InferenceConfig(max_epochs=args.epochs), cache_dir=args.cache_dir
+        InferenceConfig(max_epochs=args.epochs, backend=args.backend),
+        cache_dir=args.cache_dir,
     )
     if args.events:
         service.subscribe(_print_event)
@@ -145,6 +177,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         raise SystemExit(str(exc)) from exc
     print(f"problem:  {problem.name}")
     print(f"solver:   {result.solver}")
+    if result.backend:
+        print(f"backend:  {result.backend}")
     print(f"solved:   {result.solved} "
           f"({result.runtime_seconds:.1f}s, {result.attempts} attempt(s))")
     stages = ", ".join(
@@ -194,7 +228,8 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
     if not problems:
         raise SystemExit(f"no problems selected from suite {args.suite!r}")
     service = InvariantService(
-        InferenceConfig(max_epochs=args.epochs), cache_dir=args.cache_dir
+        InferenceConfig(max_epochs=args.epochs, backend=args.backend),
+        cache_dir=args.cache_dir,
     )
 
     def progress(record) -> None:
@@ -374,6 +409,18 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default="auto",
+        help=(
+            "tape-replay backend for training (default: auto — numba "
+            "when importable, else the fused numpy plan)"
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -400,6 +447,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--epochs", type=int, default=2000, help="training epochs per attempt"
     )
+    _add_backend_arg(run_parser)
     run_parser.add_argument(
         "--events",
         action="store_true",
@@ -431,6 +479,7 @@ def build_parser() -> argparse.ArgumentParser:
     profile_parser.add_argument(
         "--epochs", type=int, default=2000, help="training epochs per attempt"
     )
+    _add_backend_arg(profile_parser)
     profile_parser.add_argument(
         "--cache-dir",
         metavar="PATH",
@@ -502,6 +551,7 @@ def build_parser() -> argparse.ArgumentParser:
     all_parser.add_argument(
         "--epochs", type=int, default=2000, help="training epochs per attempt"
     )
+    _add_backend_arg(all_parser)
     all_parser.add_argument(
         "--json",
         metavar="PATH",

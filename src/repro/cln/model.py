@@ -90,6 +90,10 @@ class GCLNConfig:
     # recovers the per-unit eager loops (kept as the reference
     # implementation for equivalence tests and bench_perf baselines).
     vectorized: bool = True
+    # Tape replay backend: "auto" (numba when importable, else the
+    # fused numpy plan), "numpy" (reference closure walker), "fused",
+    # or "numba".  See repro.autodiff.backend.
+    backend: str = "auto"
     # Extraction.
     max_denominators: tuple[int, ...] = (10, 15, 30)
 

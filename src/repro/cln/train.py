@@ -75,6 +75,18 @@ class RestartOutcome:
     error: str | None = None
 
 
+
+#: ``tape.stats()`` snapshot from the most recent taped training loop in
+#: this process — observability for ``python -m repro profile``.  Not
+#: part of the training contract; may be ``None`` before any training.
+LAST_TAPE_STATS: dict | None = None
+
+
+def _publish_tape_stats(tape: Tape) -> None:
+    global LAST_TAPE_STATS
+    LAST_TAPE_STATS = tape.stats()
+
+
 def _validate_data(data: np.ndarray) -> None:
     if data.ndim != 2 or data.shape[0] == 0:
         raise TrainingError(
@@ -179,7 +191,7 @@ def _run_restart_epochs(
     """
     xs = list(X) if isinstance(X, (list, tuple)) else [X] * len(states)
     loss_nodes: list[Tensor] = []
-    tape = Tape()
+    tape = Tape(backend=states[0].model.config.backend)
 
     def build() -> Tensor:
         loss_nodes.clear()
@@ -251,6 +263,7 @@ def _run_restart_epochs(
             state.optimizer.zero_grad()
         if all(state.stopped for state in states):
             break
+    _publish_tape_stats(tape)
 
 
 def _run_stacked_epochs(
@@ -297,7 +310,7 @@ def _run_stacked_epochs(
     sigma_box = np.array(config.sigma * anneal_init)
     c1_box = np.array(config.c1 * anneal_init)
     loss_node: list[Tensor] = []
-    tape = Tape()
+    tape = Tape(backend=config.backend)
 
     def build() -> Tensor:
         loss_node.clear()
@@ -358,6 +371,7 @@ def _run_stacked_epochs(
         optimizer.zero_grad()
         if all(state.stopped for state in states):
             break
+    _publish_tape_stats(tape)
 
 
 def _per_model_matrices(
@@ -688,7 +702,7 @@ def _train_units_batched(
     ge_idx = [
         i for i, u in enumerate(model.units_flat) if u.kind is AtomicKind.GE
     ]
-    tape = Tape()
+    tape = Tape(backend=config.backend)
     loss_node: list[Tensor] = []
 
     def build() -> Tensor:
@@ -734,6 +748,7 @@ def _train_units_batched(
             stale += 1
         if stale >= early_stop_patience:
             break
+    _publish_tape_stats(tape)
     return TrainResult(final_loss=best_loss, epochs=epoch, converged=True)
 
 

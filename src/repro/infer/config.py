@@ -48,6 +48,10 @@ class InferenceConfig:
     # rate and ablation switches applied).
     gcln: GCLNConfig = field(default_factory=GCLNConfig)
 
+    # Tape replay backend forwarded into every attempt's GCLNConfig
+    # ("auto" / "numpy" / "fused" / "numba"; see repro.autodiff.backend).
+    backend: str = "auto"
+
     # Term-filtering caps.
     growth_ratio_cap: float = 1e8
 
@@ -61,4 +65,5 @@ class InferenceConfig:
             dropout_rate=rate,
             weight_regularization=self.weight_regularization,
             max_epochs=self.max_epochs,
+            backend=self.backend,
         )

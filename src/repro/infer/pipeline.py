@@ -33,6 +33,7 @@ from repro.api.events import (
     emit_check_events,
     timed_stage,
 )
+from repro.autodiff.backend import resolve_backend_name
 from repro.checker.vc import DEFAULT_CHECKER_SEED, InvariantChecker
 from repro.checker.result import CheckOutcome
 from repro.cln.bounds import BoundBank, enumerate_bound_masks, extract_bound_atoms, train_bound_bank
@@ -140,6 +141,9 @@ class InferenceResult:
     # Wall-clock seconds per pipeline stage, keyed by
     # repro.api.events.STAGES, summed over attempts.
     stage_timings: dict[str, float] = field(default_factory=dict)
+    # Resolved tape-replay backend name the training loops used
+    # ("numpy"/"fused"/"numba"; see repro.autodiff.backend).
+    backend: str = ""
 
     def invariant(self, loop_index: int = 0) -> Formula:
         for loop in self.loops:
@@ -156,6 +160,7 @@ class InferenceResult:
             "runtime_seconds": self.runtime_seconds,
             "notes": list(self.notes),
             "cache_stats": dict(self.cache_stats),
+            "backend": self.backend,
             "stage_timings": {
                 s: float(self.stage_timings.get(s, 0.0)) for s in STAGES
             },
@@ -235,7 +240,11 @@ class InferenceEngine:
         config = self.config
         program = problem.program
         start = time.perf_counter()
-        result = InferenceResult(problem_name=problem.name, solved=False)
+        result = InferenceResult(
+            problem_name=problem.name,
+            solved=False,
+            backend=resolve_backend_name(config.backend),
+        )
         totals = {stage: 0.0 for stage in STAGES}
 
         n_loops = len(program.loops)

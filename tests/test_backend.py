@@ -1,0 +1,325 @@
+"""Cross-backend equivalence tests for the compiled tape replay.
+
+The closure walker (``backend="numpy"``) is the bitwise oracle: the
+fused plan must reproduce its losses, gradients, and parameter updates
+exactly (``np.array_equal``, not allclose) on random elementwise
+chains and on the real G-CLN training graphs.  The numba backend is
+only required to degrade gracefully — without numba installed it IS
+the fused plan, so it inherits the bitwise guarantee; with numba the
+JITted segments are validated by the same comparisons under allclose
+in the dedicated CI job.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import (
+    Adam,
+    Tape,
+    Tensor,
+    available_backends,
+    exp,
+    gaussian,
+    log,
+    maximum,
+    minimum,
+    numba_available,
+    pbqu,
+    relu,
+    resolve_backend_name,
+    sigmoid,
+    sqrt,
+    tanh,
+    where,
+)
+from repro.autodiff.backend import (
+    UnknownBackendError,
+    compile_plan,
+    exclusive_prod_into,
+    get_backend,
+)
+from repro.autodiff.tensor import exclusive_prod
+from repro.cln.model import (
+    AtomicKind,
+    GCLN,
+    GCLNConfig,
+    structured_inequality_units,
+)
+from repro.cln.train import train_gcln, train_units_independently
+from repro.sampling import normalize_rows
+
+
+# -- registry ----------------------------------------------------------------
+
+
+def test_available_backends():
+    assert available_backends() == ("auto", "fused", "numba", "numpy")
+
+
+def test_unknown_backend_raises():
+    with pytest.raises(UnknownBackendError):
+        get_backend("bogus")
+    with pytest.raises(UnknownBackendError):
+        resolve_backend_name("bogus")
+
+
+def test_resolve_auto_matches_numba_availability():
+    expected = "numba" if numba_available() else "fused"
+    assert resolve_backend_name("auto") == expected
+    assert resolve_backend_name(None) == expected
+    assert resolve_backend_name("fused") == "fused"
+
+
+# -- random elementwise chain fuzz ------------------------------------------
+
+
+def _random_chain_loss(leaves, sigma_box, rng):
+    """A random bounded elementwise chain over the leaves."""
+    a, b = leaves
+    cur = sigmoid(a * 1.5 + b)
+    ops = [
+        lambda u: u + sigmoid(b),
+        lambda u: u * (tanh(a) + 2.0),
+        lambda u: u - gaussian(a, sigma_box) * 0.5,
+        lambda u: u / (u * u + 1.5),
+        lambda u: -u + 1.0,
+        lambda u: abs(u - 0.5),
+        lambda u: exp(-(u * u)),
+        lambda u: log(u * u + 1.0),
+        lambda u: sqrt(u * u + 0.25),
+        lambda u: relu(u - 0.3),
+        lambda u: pbqu(u, 1.0, 50.0),
+        lambda u: maximum(u, sigmoid(b)),
+        lambda u: minimum(u, tanh(a) + 1.5),
+        lambda u: u ** 2,
+        lambda u: where(lambda: u.data >= 0.4, u, sigmoid(a)),
+    ]
+    for idx in rng.integers(0, len(ops), size=8):
+        cur = ops[int(idx)](cur)
+    return (cur.sum() + (a * b).sum()) * 0.5
+
+
+def _train_chain(backend, seed, steps=4):
+    rng = np.random.default_rng(seed)
+    a = Tensor(rng.normal(size=(3, 5)), requires_grad=True)
+    b = Tensor(rng.normal(size=(3, 5)), requires_grad=True)
+    sigma_box = np.array(1.2)
+    op_rng = np.random.default_rng(seed + 1000)
+    opt = Adam([a, b], lr=0.05)
+    tape = Tape(backend=backend)
+    losses, grads = [], []
+    for i in range(steps):
+        opt.zero_grad()
+        loss = tape.step(lambda: _random_chain_loss([a, b], sigma_box, op_rng))
+        losses.append(float(loss.data))
+        grads.append([a.grad.copy(), b.grad.copy()])
+        opt.step()
+        sigma_box[...] = 1.2 - 0.05 * i
+    return losses, grads, [a.data.copy(), b.data.copy()], tape.stats()
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_fused_bitwise_on_random_chains(seed):
+    ln, gn, pn, sn = _train_chain("numpy", seed)
+    lf, gf, pf, sf = _train_chain("fused", seed)
+    assert sn["active_backend"] == "numpy"
+    assert sf["active_backend"] == "fused"
+    assert sf["fallback_reason"] is None
+    assert ln == lf
+    for ga, gb in zip(gn, gf):
+        for x, y in zip(ga, gb):
+            assert np.array_equal(x, y)
+    for x, y in zip(pn, pf):
+        assert np.array_equal(x, y)
+
+
+@pytest.mark.parametrize("seed", [0, 3])
+def test_numba_backend_matches_reference(seed):
+    """With numba absent the numba backend IS the fused plan (bitwise);
+    with numba present JITted segments must still agree to allclose."""
+    ln, gn, pn, _ = _train_chain("numpy", seed)
+    lj, gj, pj, sj = _train_chain("numba", seed)
+    assert sj["active_backend"] == "numba"
+    if not numba_available():
+        assert sj["jitted_segments"] == 0
+        assert ln == lj
+        for ga, gb in zip(gn, gj):
+            for x, y in zip(ga, gb):
+                assert np.array_equal(x, y)
+    else:
+        np.testing.assert_allclose(ln, lj, rtol=1e-12, atol=1e-12)
+        for x, y in zip(pn, pj):
+            np.testing.assert_allclose(x, y, rtol=1e-10, atol=1e-12)
+
+
+# -- real training graphs ----------------------------------------------------
+
+
+def _relation_data():
+    xs = np.arange(1, 13, dtype=float)
+    return normalize_rows(
+        np.stack([np.ones_like(xs), xs, 2 * xs, xs * xs], axis=1)
+    )
+
+
+def _train_eq(backend):
+    config = GCLNConfig(
+        n_clauses=3, max_epochs=150, dropout_rate=0.2, backend=backend
+    )
+    model = GCLN(4, config, np.random.default_rng(7), protected_terms=[0])
+    train_gcln(model, _relation_data())
+    return [p.data.copy() for p in model.parameters()]
+
+
+def test_gcln_training_bitwise_across_backends():
+    ref = _train_eq("numpy")
+    fused = _train_eq("fused")
+    assert len(ref) == len(fused)
+    for x, y in zip(ref, fused):
+        assert np.array_equal(x, y)
+
+
+def _train_units(backend):
+    rng = np.random.default_rng(5)
+    data = normalize_rows(
+        np.stack(
+            [np.ones(12), np.arange(1.0, 13.0), np.arange(1.0, 13.0) ** 2],
+            axis=1,
+        )
+    )
+    config = GCLNConfig(max_epochs=120, backend=backend)
+    term_vars = [frozenset(), frozenset({"x"}), frozenset({"x"})]
+    units = structured_inequality_units(
+        term_vars, (0, 1, 2), ["x"], config, np.random.default_rng(3)
+    )
+    model = GCLN(
+        3, config, np.random.default_rng(3), units=units, kind=AtomicKind.GE
+    )
+    train_units_independently(model, data)
+    return model.unit_weights.data.copy()
+
+
+def test_unit_training_bitwise_across_backends():
+    assert np.array_equal(_train_units("numpy"), _train_units("fused"))
+
+
+# -- plan internals ----------------------------------------------------------
+
+
+@pytest.mark.parametrize("axis", [0, 1, -1])
+def test_exclusive_prod_into_bitwise(axis):
+    rng = np.random.default_rng(2)
+    x = rng.normal(size=(4, 5, 3))
+    x[1, 2, 1] = 0.0  # zeros must match too
+    x[0, 0, 0] = 0.0
+    ref = exclusive_prod(x, axis)
+    out = np.empty_like(x)
+    exclusive_prod_into(x, axis % x.ndim, np.empty_like(x), np.empty_like(x), out)
+    assert np.array_equal(ref, out)
+
+
+def test_plan_recompiles_after_leaf_storage_swap():
+    a = Tensor(np.linspace(-1, 1, 8), requires_grad=True)
+
+    def build():
+        return (sigmoid(a) * tanh(a)).sum()
+
+    tape = Tape(backend="fused")
+    tape.step(build)
+    a.grad = None
+    first = float(tape.step(build).data)
+    assert tape.stats()["active_backend"] == "fused"
+    # Swap the leaf's storage: the data guard must drop the stale plan.
+    a.data = np.linspace(0.5, 2.0, 8)
+    a.grad = None
+    swapped = float(tape.step(build).data)
+    expected = float(np.sum(
+        (1.0 / (1.0 + np.exp(-a.data))) * np.tanh(a.data)
+    ))
+    assert swapped != first
+    np.testing.assert_allclose(swapped, expected, rtol=1e-12)
+    assert tape.stats()["replays"] == 2
+
+
+def test_tape_stats_keys_and_segments():
+    a = Tensor(np.ones(6), requires_grad=True)
+    tape = Tape(backend="fused")
+    tape.step(lambda: (sigmoid(a) * 2.0 + tanh(a)).sum())
+    a.grad = None
+    tape.step(lambda: (sigmoid(a) * 2.0 + tanh(a)).sum())
+    stats = tape.stats()
+    assert set(stats) == {
+        "backend", "active_backend", "n_nodes", "replayable", "replays",
+        "eager_steps", "fused_segments", "jitted_segments", "fallback_reason",
+    }
+    assert stats["fused_segments"] >= 1
+    if not numba_available():
+        assert stats["jitted_segments"] == 0
+
+
+def test_compile_plan_reports_failure_reason():
+    # A root that does not require grad is never replayable, and an
+    # empty tape cannot compile.
+    assert compile_plan([], Tensor(1.0)) is None
+    assert compile_plan.last_failure == "empty tape"
+
+
+# -- numba codegen (pure-Python executable source) ---------------------------
+
+
+def test_numba_codegen_source_runs_as_pure_python():
+    """The generated per-element kernel must be valid plain Python that
+    reproduces the recorded forward values — with or without numba."""
+    import math
+
+    from repro.autodiff import backend_numba
+
+    a = Tensor(np.linspace(-2.0, 2.0, 9), requires_grad=True)
+    nodes = []
+    from repro.autodiff import tensor as tensor_mod
+
+    tensor_mod._TAPE_SINK = nodes
+    try:
+        s = sigmoid(a)
+        t = tanh(s)
+        p = pbqu(t, 1.0, 50.0)
+        r = relu(p - 0.25)
+    finally:
+        tensor_mod._TAPE_SINK = None
+    expected = [n.data.copy() for n in (s, t, p, r)]
+
+    persisted = {}
+
+    def persist(node, tag):
+        return persisted.setdefault(
+            (id(node), tag), np.empty_like(node.data)
+        )
+
+    source, arrays, scalars = backend_numba.codegen_forward(
+        [s, t, p, r], persist
+    )
+    ns = {"math": math}
+    exec(compile(source, "<test-segment>", "exec"), ns)
+    for n in (s, t, p, r):
+        n.data.fill(np.nan)
+    ns["_segment"](
+        a.data.size,
+        *[arr.reshape(-1) for arr in arrays],
+        *[float(v) for v in scalars],
+    )
+    for node, want in zip((s, t, p, r), expected):
+        np.testing.assert_allclose(node.data, want, rtol=1e-15)
+    # pbqu's persisted k/denominator were filled for the backward pass.
+    assert (id(p), "k") in persisted and (id(p), "den") in persisted
+    np.testing.assert_allclose(
+        persisted[(id(p), "k")] / persisted[(id(p), "den")], expected[2]
+    )
+
+
+def test_numba_version_consistent_with_availability():
+    from repro.autodiff import numba_version
+
+    if numba_available():
+        assert isinstance(numba_version(), str)
+    else:
+        assert numba_version() is None
