@@ -21,6 +21,11 @@ Measures four things and writes them to ``BENCH_PERF.json``:
    (``numba``, when importable).  This isolates the replay engine from
    optimizer/bookkeeping overhead; sections 1-3 pin ``backend="numpy"``
    so their trajectory stays comparable with historical records.
+6. **serve** — the HTTP front end under concurrent load: one cold
+   solve latency vs memoized replays hammered by 8 concurrent clients
+   (req/s, p50/p95 latency, and the memo speedup ``check_perf.py``
+   gates at >= 10x), plus N concurrent *identical* requests proving
+   the in-flight dedup collapses them to exactly one solve.
 
 Speedups are ratios measured in the same process on the same machine,
 so they are comparable across hosts; the absolute epochs/sec numbers
@@ -274,6 +279,131 @@ def bench_end_to_end(problems: list[str], epochs: int) -> dict:
     }
 
 
+def _serve_problem(name: str, step: int) -> "object":
+    from repro.infer import Problem
+
+    return Problem(
+        name=name,
+        source=f"""
+program {name};
+input n;
+assume (n >= 0);
+i = 0; x = 0;
+while (i < n) {{ i = i + 1; x = x + {step}; }}
+""",
+        train_inputs=[{"n": v} for v in range(0, 8)],
+        max_degree=1,
+        ground_truth={0: [f"x == {step} * i"]},
+    )
+
+
+def bench_serve(
+    epochs: int, clients: int = 8, requests_per_client: int = 25
+) -> dict:
+    """HTTP front-end load: cold solve vs memo replays vs dedup."""
+    import asyncio
+    import threading
+    import urllib.request
+
+    from repro.dist.wire import problem_to_dict
+    from repro.serve.admission import AdmissionController
+    from repro.serve.app import InvariantServer
+    from repro.serve.executor import InProcessExecutor
+
+    service = InvariantService(
+        InferenceConfig(max_epochs=epochs, dropout_schedule=(0.6,))
+    )
+    server = InvariantServer(
+        service,
+        InProcessExecutor(service, threads=4),
+        admission=AdmissionController(rate=0, max_inflight=0),
+    )
+    loop = asyncio.new_event_loop()
+
+    def run_loop():
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(server.start("127.0.0.1", 0))
+        loop.run_forever()
+
+    thread = threading.Thread(target=run_loop, daemon=True)
+    thread.start()
+    while server._server is None:
+        time.sleep(0.01)
+    base = f"http://127.0.0.1:{server.port}/v1/solve"
+
+    def post(body: bytes) -> float:
+        start = time.perf_counter()
+        with urllib.request.urlopen(
+            urllib.request.Request(base, data=body), timeout=300
+        ) as resp:
+            resp.read()
+        return time.perf_counter() - start
+
+    out: dict = {"clients": clients, "epochs": epochs}
+    try:
+        body = json.dumps(
+            {"problem": problem_to_dict(_serve_problem("servecold", 1))}
+        ).encode()
+        out["cold_seconds"] = post(body)
+
+        # sequential memo replays: the clean per-request replay cost
+        # (no client-side thread contention) — basis for memo_speedup
+        replays = sorted(post(body) for _ in range(12))
+        out["memo_median_seconds"] = replays[len(replays) // 2]
+        out["memo_speedup"] = out["cold_seconds"] / max(
+            out["memo_median_seconds"], 1e-9
+        )
+
+        # memoized replays under concurrent load
+        latencies: list[float] = []
+        lock = threading.Lock()
+
+        def client():
+            mine = [post(body) for _ in range(requests_per_client)]
+            with lock:
+                latencies.extend(mine)
+
+        start = time.perf_counter()
+        threads = [threading.Thread(target=client) for _ in range(clients)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - start
+        latencies.sort()
+        n = len(latencies)
+        out["memo_requests"] = n
+        out["memo_req_per_sec"] = n / elapsed
+        out["memo_p50_ms"] = latencies[n // 2] * 1e3
+        out["memo_p95_ms"] = latencies[min(n - 1, int(n * 0.95))] * 1e3
+
+        # N concurrent identical fresh requests → exactly one solve
+        led_before = server.dedup.stats()["led"]
+        fresh = json.dumps(
+            {"problem": problem_to_dict(_serve_problem("servededup", 2))}
+        ).encode()
+        threads = [
+            threading.Thread(target=post, args=(fresh,))
+            for _ in range(clients)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = server.dedup.stats()
+        out["dedup_requests"] = clients
+        out["dedup_solves"] = stats["led"] - led_before
+        out["dedup_joined"] = stats["joined"]
+    finally:
+        asyncio.run_coroutine_threadsafe(server.close(), loop).result(
+            timeout=10
+        )
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=10)
+        loop.close()
+    return out
+
+
 def run(args: argparse.Namespace) -> dict:
     unit_epochs = 120 if args.quick else 400
     e2e_epochs = 200 if args.quick else 400
@@ -290,6 +420,10 @@ def run(args: argparse.Namespace) -> dict:
         ),
         "replay": bench_replay(1500 if args.quick else 3000),
         "end_to_end": bench_end_to_end(args.problems, e2e_epochs),
+        "serve": bench_serve(
+            unit_epochs,
+            requests_per_client=(10 if args.quick else 25),
+        ),
     }
     return payload
 
@@ -335,6 +469,20 @@ def report(payload: dict) -> str:
             f"{e2e['speedup']:.1f}x",
         ],
     ]
+    if "serve" in payload:
+        serve = payload["serve"]
+        rows.append(
+            [
+                f"serve (memo, {serve['clients']} clients,"
+                f" {serve['memo_req_per_sec']:.0f} req/s,"
+                f" p95 {serve['memo_p95_ms']:.1f}ms,"
+                f" dedup {serve['dedup_requests']}->"
+                f"{serve['dedup_solves']})",
+                f"{serve['cold_seconds'] * 1e3:.0f}ms",
+                f"{serve['memo_median_seconds'] * 1e3:.1f}ms",
+                f"{serve['memo_speedup']:.0f}x",
+            ]
+        )
     return format_table(
         ["path", "baseline", "optimized", "speedup"],
         rows,

@@ -5,11 +5,13 @@ Two kinds of checks:
 * **Relative speedups** (machine-independent): the batched units path
   must stay >= 3x its sequential reference, the cross-problem suite
   batch >= 2x per-problem training, the end-to-end solves >= 2x
-  the all-optimizations-off configuration, and the compiled (fused)
+  the all-optimizations-off configuration, the compiled (fused)
   tape replay >= 3x the batched training loop's epochs/sec and never
-  slower than the reference closure walker — the acceptance criteria
-  of the vectorized-training-core, cross-batch, and compiled-replay
-  changes.  On loaded or
+  slower than the reference closure walker, and the HTTP server's
+  memoized replays >= 10x faster than a cold solve (with the in-flight
+  dedup collapsing N concurrent identical requests to exactly one
+  solve) — the acceptance criteria of the vectorized-training-core,
+  cross-batch, compiled-replay, and serve changes.  On loaded or
   heavily shared runners the ratios themselves get noisy; set
   ``REPRO_PERF_FLOOR_SCALE`` (a float in (0, 1], default 1.0) to scale
   every relative floor down instead of letting the gate flake — e.g.
@@ -39,6 +41,8 @@ MIN_E2E_SPEEDUP = 2.0
 MIN_REPLAY_SPEEDUP = 3.0
 # The fused plan must never lose to the closure walker it replaces.
 MIN_REPLAY_VS_WALKER = 1.0
+# Serving: a memoized replay must be >= 10x faster than a cold solve.
+MIN_SERVE_MEMO_SPEEDUP = 10.0
 MAX_REGRESSION = 2.0  # current must be >= baseline / MAX_REGRESSION
 
 
@@ -73,6 +77,11 @@ def check(current: dict, baseline: dict) -> list[str]:
             "record has no 'replay' section — regenerate it with the "
             "current benchmarks/bench_perf.py"
         )
+    if "serve" not in current:
+        failures.append(
+            "record has no 'serve' section — regenerate it with the "
+            "current benchmarks/bench_perf.py"
+        )
     floors = [
         ("units", current["units"]["speedup"], MIN_UNITS_SPEEDUP),
         ("end-to-end", current["end_to_end"]["speedup"], MIN_E2E_SPEEDUP),
@@ -90,6 +99,19 @@ def check(current: dict, baseline: dict) -> list[str]:
                 MIN_REPLAY_VS_WALKER,
             )
         )
+    if "serve" in current:
+        serve = current["serve"]
+        floors.append(
+            ("serve memo vs cold", serve["memo_speedup"], MIN_SERVE_MEMO_SPEEDUP)
+        )
+        # Exact, not a floor: concurrent identical requests must
+        # collapse to one solve or dedup is broken outright.
+        if serve["dedup_solves"] != 1:
+            failures.append(
+                f"serve dedup ran {serve['dedup_solves']} solves for "
+                f"{serve['dedup_requests']} concurrent identical requests "
+                "(expected exactly 1)"
+            )
     for label, got, floor in floors:
         required = floor * scale
         if got < required:
@@ -152,7 +174,8 @@ def main(argv: list[str]) -> int:
             f"gcln {current['gcln']['speedup']:.1f}x, "
             f"suite {current['suite']['speedup']:.1f}x, "
             f"replay {current['replay']['speedup']:.1f}x, "
-            f"end-to-end {current['end_to_end']['speedup']:.1f}x"
+            f"end-to-end {current['end_to_end']['speedup']:.1f}x, "
+            f"serve memo {current['serve']['memo_speedup']:.0f}x"
         )
     return 1 if failures else 0
 

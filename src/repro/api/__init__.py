@@ -60,6 +60,7 @@ from repro.api.adapters import (
     PlainCLNSolver,
     register_default_solvers,
 )
+from repro.api.memo import ResultMemo
 from repro.api.service import DEFAULT_CACHE_ENTRIES, InvariantService
 
 __all__ = [
@@ -96,5 +97,6 @@ __all__ = [
     "register_default_solvers",
     # service
     "InvariantService",
+    "ResultMemo",
     "DEFAULT_CACHE_ENTRIES",
 ]

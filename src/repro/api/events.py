@@ -24,6 +24,7 @@ Event vocabulary (one dataclass per lifecycle point):
 from __future__ import annotations
 
 import dataclasses
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -110,11 +111,21 @@ class EventBus:
 
     Subscribers must never break a solve: a callback that raises is
     counted in :attr:`subscriber_errors` and skipped, not propagated.
+
+    Thread-safe: subscribe/unsubscribe/emit may race from any number of
+    threads (the serving front end emits from executor threads while
+    clients subscribe and disconnect on the event loop).  Emission
+    snapshots the subscriber table under a lock and delivers *outside*
+    it, so a callback that itself subscribes or unsubscribes — or
+    emits — cannot deadlock.  A subscriber unsubscribed mid-emit may
+    still receive the event already in flight; it never receives later
+    ones.
     """
 
     def __init__(self) -> None:
         self._subscribers: dict[int, tuple[Callable[[Event], None], tuple[type, ...] | None]] = {}
         self._next_token = 0
+        self._lock = threading.Lock()
         self.subscriber_errors = 0
 
     def __len__(self) -> int:
@@ -132,21 +143,23 @@ class EventBus:
             kinds: optional event classes to filter on (e.g.
                 ``(StageTimed,)``); ``None`` receives everything.
         """
-        token = self._next_token
-        self._next_token += 1
-        self._subscribers[token] = (
-            callback,
-            tuple(kinds) if kinds is not None else None,
-        )
+        filters = tuple(kinds) if kinds is not None else None
+        with self._lock:
+            token = self._next_token
+            self._next_token += 1
+            self._subscribers[token] = (callback, filters)
 
         def unsubscribe() -> None:
-            self._subscribers.pop(token, None)
+            with self._lock:
+                self._subscribers.pop(token, None)
 
         return unsubscribe
 
     def emit(self, event: Event) -> None:
         """Deliver ``event`` to every matching subscriber."""
-        for callback, kinds in list(self._subscribers.values()):
+        with self._lock:
+            subscribers = list(self._subscribers.values())
+        for callback, kinds in subscribers:
             if kinds is not None and not isinstance(event, kinds):
                 continue
             try:

@@ -31,6 +31,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence
 
 from repro.api.events import Event, EventBus, ProblemSolved
+from repro.api.memo import ResultMemo
 from repro.api.solver import SolveResult, available_solvers, get_solver
 from repro.sampling.cache import TraceCache
 
@@ -62,6 +63,14 @@ class InvariantService:
             ``cache`` is injected): traces and term matrices persist
             across processes keyed by content fingerprint, so reruns
             skip interpretation entirely.
+        memo_size: opt-in finished-result memo.  With ``memo_size=N``
+            the service keeps the last N :class:`SolveResult`\\ s keyed
+            by canonical problem fingerprint and :meth:`solve` returns
+            a memo hit without re-running the solver at all — zero
+            training epochs, zero interpretation.  A hit still emits
+            ``ProblemSolved`` so subscribers observe every completion.
+            Default 0 (off): a research service usually *wants* to
+            re-run training to observe variance.
     """
 
     def __init__(
@@ -72,6 +81,7 @@ class InvariantService:
         cache: TraceCache | None = None,
         max_cache_entries: int = DEFAULT_CACHE_ENTRIES,
         cache_dir: str | None = None,
+        memo_size: int = 0,
     ):
         self.cache = (
             cache
@@ -79,6 +89,9 @@ class InvariantService:
             else TraceCache(max_entries=max_cache_entries, cache_dir=cache_dir)
         )
         self.bus = EventBus()
+        self.memo: ResultMemo[SolveResult] | None = (
+            ResultMemo(max_entries=memo_size) if memo_size > 0 else None
+        )
         self._default_config = config
         self._solver_configs: dict[str, "InferenceConfig"] = dict(
             solver_configs or {}
@@ -121,19 +134,41 @@ class InvariantService:
 
         The solver shares the service cache and emits events to the
         service bus; a ``ProblemSolved`` event is emitted on completion
-        whether or not the problem was solved.
+        whether or not the problem was solved.  With ``memo_size > 0``
+        a repeated (problem, solver, config) returns the memoized
+        result without running the solver (the completion event is
+        still emitted).
 
         Raises:
             UnknownSolverError: for unregistered solver names (the
                 message lists :func:`available_solvers`).
         """
         solver_obj = get_solver(solver)
+        key: str | None = None
+        if self.memo is not None:
+            from repro.utils.fingerprint import problem_fingerprint
+
+            key = problem_fingerprint(problem, solver, self.config_for(solver))
+            memoized = self.memo.get(key)
+            if memoized is not None:
+                self.bus.emit(
+                    ProblemSolved(
+                        problem=problem.name,
+                        solver=solver,
+                        solved=memoized.solved,
+                        runtime_seconds=memoized.runtime_seconds,
+                        attempts=memoized.attempts,
+                    )
+                )
+                return memoized
         result = solver_obj.solve(
             problem,
             config=self.config_for(solver),
             cache=self.cache,
             events=self.bus.emit,
         )
+        if self.memo is not None and key is not None:
+            self.memo.put(key, result)
         self.bus.emit(
             ProblemSolved(
                 problem=problem.name,

@@ -26,6 +26,11 @@ Commands:
 * ``worker --queue-dir PATH`` — drain a work queue: claim, solve, ack,
   until nothing is pending or claimed.  Run any number of these (on
   any host sharing the directory) against one queue.
+* ``serve --host HOST --port PORT`` — expose the service over HTTP
+  (JSON + Server-Sent Events; see :mod:`repro.serve`).  The default
+  solves in-process on a thread pool; ``--queue-dir PATH`` enqueues
+  onto the distributed work queue instead and lets a ``worker`` fleet
+  solve.
 * ``solvers`` — list the registered solvers.
 * ``list`` — list the available benchmark problems with metadata.
 * ``trace <nla-problem> --inputs k=5`` — execute a benchmark program on
@@ -359,7 +364,7 @@ def _cmd_enqueue(args: argparse.Namespace) -> int:
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
-    from repro.dist import Worker, WorkQueue
+    from repro.dist import Worker, WorkQueue, install_stop_handler
 
     if args.batch_size is not None and args.batch_size < 1:
         raise SystemExit(f"--batch-size must be >= 1, got {args.batch_size}")
@@ -384,11 +389,35 @@ def _cmd_worker(args: argparse.Namespace) -> int:
             poll_seconds=args.poll,
             progress=progress,
         )
+        install_stop_handler(worker)  # SIGTERM = finish current item, release rest
         processed = worker.run(max_items=args.max_items)
     except ReproError as exc:
         raise SystemExit(str(exc)) from exc
-    print(f"worker {worker.worker_id}: processed {processed} item(s)")
+    if worker.stop_requested:
+        print(
+            f"worker {worker.worker_id}: stop requested; processed "
+            f"{processed} item(s), unstarted claims released"
+        )
+    else:
+        print(f"worker {worker.worker_id}: processed {processed} item(s)")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import serve_main
+
+    if args.solve_threads < 1:
+        raise SystemExit(
+            f"--solve-threads must be >= 1, got {args.solve_threads}"
+        )
+    if args.memo < 0:
+        raise SystemExit(f"--memo must be >= 0, got {args.memo}")
+    if args.timeout is not None and args.timeout <= 0:
+        raise SystemExit(f"--timeout must be positive, got {args.timeout}")
+    try:
+        return serve_main(args)
+    except ReproError as exc:
+        raise SystemExit(str(exc)) from exc
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -633,6 +662,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="identity recorded on claims/journal lines (default: generated)",
     )
     worker_parser.set_defaults(func=_cmd_worker)
+
+    serve_parser = sub.add_parser(
+        "serve", help="expose the invariant service over HTTP (JSON + SSE)"
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8977,
+        help="bind port (default: 8977; 0 picks a free port)",
+    )
+    serve_parser.add_argument(
+        "--solver", default="gcln", metavar="NAME",
+        help="default solver for requests that name none (default: gcln)",
+    )
+    serve_parser.add_argument(
+        "--epochs", type=int, default=2000, help="training epochs per attempt"
+    )
+    _add_backend_arg(serve_parser)
+    serve_parser.add_argument(
+        "--cache-dir", metavar="PATH",
+        help="persist traces/term matrices on disk across solves",
+    )
+    serve_parser.add_argument(
+        "--queue-dir", metavar="PATH",
+        help=(
+            "solve via the distributed work queue at PATH instead of "
+            "in-process (drain it with 'python -m repro worker')"
+        ),
+    )
+    serve_parser.add_argument(
+        "--queue-wait", type=float, default=None, metavar="SECONDS",
+        help=(
+            "with --queue-dir: give up on a request when no worker acks "
+            "it within this long (default: wait forever)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-problem budget recorded in the queue meta (--queue-dir)",
+    )
+    serve_parser.add_argument(
+        "--solve-threads", type=int, default=2, metavar="N",
+        help="in-process solver threads (default: 2)",
+    )
+    serve_parser.add_argument(
+        "--memo", type=int, default=256, metavar="N",
+        help=(
+            "finished results replayed instantly for repeated requests "
+            "(LRU entries; 0 disables; default: 256)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--rate", type=float, default=5.0, metavar="R",
+        help="per-client sustained requests/second (<= 0 disables; default: 5)",
+    )
+    serve_parser.add_argument(
+        "--burst", type=int, default=10, metavar="N",
+        help="per-client burst capacity (default: 10)",
+    )
+    serve_parser.add_argument(
+        "--max-inflight", type=int, default=8, metavar="N",
+        help="global concurrent-solve cap (<= 0 disables; default: 8)",
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
 
     trace_parser = sub.add_parser("trace", help="dump one execution trace")
     trace_parser.add_argument("problem")

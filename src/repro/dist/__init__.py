@@ -34,13 +34,14 @@ from repro.dist.wire import (
     problem_from_dict,
     problem_to_dict,
 )
-from repro.dist.worker import Worker
+from repro.dist.worker import Worker, install_stop_handler
 
 __all__ = [
     "QueueError",
     "WorkItem",
     "WorkQueue",
     "Worker",
+    "install_stop_handler",
     "config_from_dict",
     "config_to_dict",
     "enqueue_suite",

@@ -98,7 +98,7 @@ def enqueue_suite(
         lease_seconds=lease_seconds,
     )
     items = [
-        item_for_problem(problem, index, suite=suite)
+        item_for_problem(problem, index, suite=suite, solver=solver, config=config)
         for index, problem in enumerate(problems)
     ]
     added, skipped = queue.enqueue(items)
@@ -224,7 +224,9 @@ def run_distributed(
             lease_seconds=lease_seconds,
         )
         items = [
-            item_for_problem(problem, index, suite=suite)
+            item_for_problem(
+                problem, index, suite=suite, solver=solver, config=config
+            )
             for index, problem in enumerate(problems)
         ]
         queue.enqueue(items)

@@ -148,24 +148,40 @@ def config_from_dict(data: dict) -> InferenceConfig:
 
 
 def item_for_problem(
-    problem: Problem, index: int, suite: str | None = None
+    problem: Problem,
+    index: int,
+    suite: str | None = None,
+    *,
+    solver: str = "gcln",
+    config: InferenceConfig | None = None,
 ) -> dict:
     """Build one queue item for ``problem``.
 
-    Item ids embed the input ``index`` so merge restores input order and
-    re-enqueueing the same suite yields the same ids (resume dedups on
-    them).  With ``suite`` given, the item is a registry reference;
-    otherwise the full problem is inlined.
+    Item ids are ``NNNN-name-ffffffff``: the input ``index`` (so merge
+    restores input order), the problem name (so humans can read the
+    queue), and a prefix of the canonical :func:`~repro.utils.
+    fingerprint.problem_fingerprint` over (problem, solver, config) —
+    the same keying scheme the trace-cache disk spill and the serving
+    dedup use.  Re-enqueueing the same suite with the same settings
+    yields the same ids (resume dedups on them); changing the problem,
+    solver, or config changes the ids, so a resumed queue never serves
+    stale records solved under different settings.  With ``suite``
+    given, the item is a registry reference; otherwise the full problem
+    is inlined.
     """
+    from repro.utils.fingerprint import problem_fingerprint
+
     spec: dict[str, Any]
     if suite is not None:
         spec = {"kind": "suite", "suite": suite, "name": problem.name}
     else:
         spec = {"kind": "inline", **problem_to_dict(problem)}
+    fingerprint = problem_fingerprint(problem, solver, config)
     return {
-        "id": f"{index:04d}-{problem.name}",
+        "id": f"{index:04d}-{problem.name}-{fingerprint[:8]}",
         "index": index,
         "name": problem.name,
+        "fingerprint": fingerprint,
         "problem": spec,
     }
 

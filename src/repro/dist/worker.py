@@ -16,11 +16,19 @@ A worker exits when the queue is fully drained (nothing pending or
 claimed).  While other workers still hold claims it waits — if one of
 them crashed, the lease expires and the item comes back to pending,
 so a surviving worker finishes the suite.
+
+Shutdown is graceful: ``SIGTERM`` (the entry points install a handler;
+embedders call :meth:`Worker.request_stop`) finishes and acks the item
+being solved, voluntarily releases every still-unstarted claim back to
+``pending``, and returns normally (exit 0).  A drain resumed after a
+graceful stop therefore never waits out a lease — only a *crashed*
+worker (SIGKILL, OOM) leaves claims behind for lease expiry to reap.
 """
 
 from __future__ import annotations
 
 import os
+import signal
 import socket
 import time
 import uuid
@@ -70,6 +78,7 @@ class Worker:
         self.worker_id = worker_id or default_worker_id()
         self.poll_seconds = poll_seconds
         self.progress = progress
+        self._stop_requested = False
         meta = self.queue.meta
         self.solver = meta.get("solver", "gcln")
         self.timeout_seconds = meta.get("timeout_seconds")
@@ -85,21 +94,37 @@ class Worker:
         )
         self.service = InvariantService(config, cache_dir=cache_dir)
 
+    def request_stop(self) -> None:
+        """Ask the worker to stop gracefully (signal-handler safe).
+
+        The item currently being solved is finished and acked; every
+        other claim this worker still holds is released back to
+        ``pending``; :meth:`run` then returns normally.
+        """
+        self._stop_requested = True
+
+    @property
+    def stop_requested(self) -> bool:
+        return self._stop_requested
+
     def run(self, max_items: int | None = None) -> int:
         """Drain the queue; returns the number of items this worker acked.
 
-        Stops when the queue is empty (pending *and* claimed) or after
-        ``max_items``.  While other workers hold claims, waits for them
-        to finish or for their leases to expire.
+        Stops when the queue is empty (pending *and* claimed), after
+        ``max_items``, or when :meth:`request_stop` was called.  While
+        other workers hold claims, waits for them to finish or for
+        their leases to expire.
         """
         processed = 0
         while max_items is None or processed < max_items:
+            if self._stop_requested:
+                break
             limit = self.batch_size
             if max_items is not None:
                 limit = min(limit, max_items - processed)
             batch = self.queue.claim(self.worker_id, limit=limit)
             if not batch:
-                if self.queue.unfinished() == 0:
+                if self.queue.unfinished() == 0 or self._stop_requested:
                     break
                 time.sleep(self.poll_seconds)
                 continue
@@ -107,9 +132,16 @@ class Worker:
         return processed
 
     def _process(self, batch: list[WorkItem]) -> int:
-        """Solve one claim batch and ack every item in it."""
+        """Solve one claim batch; returns the number of items acked.
+
+        Items that cannot even be resolved are acked as error records.
+        After a stop request, still-unstarted items are released back
+        to ``pending`` instead of solved (stacked cross-problem batches
+        are indivisible, so those finish whole).
+        """
         problems = []
         resolved: list[WorkItem] = []
+        acked = 0
         for item in batch:
             try:
                 problems.append(resolve_item_problem(item.data))
@@ -123,8 +155,9 @@ class Worker:
                         error=f"cannot resolve queue item: {exc}",
                     ),
                 )
+                acked += 1
         if not resolved:
-            return len(batch)
+            return acked
 
         def renew_leases(_record: ProblemRecord) -> None:
             # A finished problem proves this worker is alive; stretch
@@ -137,6 +170,27 @@ class Worker:
             if len(resolved) > 1 and self.solver == "gcln"
             else 1
         )
+        if cross <= 1:
+            # Without stacked training the batch is divisible: solve
+            # one item at a time so a stop request between items hands
+            # the rest of the claim straight back to pending (no
+            # lease-expiry wait for whoever resumes the drain).
+            for position, (item, problem) in enumerate(
+                zip(resolved, problems)
+            ):
+                if self._stop_requested:
+                    for leftover in resolved[position:]:
+                        self.queue.release(leftover.id)
+                    return acked
+                records = self.service.solve_many(
+                    [problem],
+                    solver=self.solver,
+                    timeout_seconds=self.timeout_seconds,
+                    progress=renew_leases,
+                )
+                self._ack(item, records[0])
+                acked += 1
+            return acked
         records = self.service.solve_many(
             problems,
             solver=self.solver,
@@ -146,7 +200,8 @@ class Worker:
         )
         for item, record in zip(resolved, records):
             self._ack(item, record)
-        return len(batch)
+            acked += 1
+        return acked
 
     def _ack(self, item: WorkItem, record: ProblemRecord) -> None:
         self.queue.ack(
@@ -156,6 +211,22 @@ class Worker:
         )
         if self.progress is not None:
             self.progress(record)
+
+
+def install_stop_handler(worker: Worker) -> bool:
+    """Route ``SIGTERM`` to ``worker.request_stop()``.
+
+    Returns False (and installs nothing) off the main thread, where
+    CPython forbids ``signal.signal`` — embedders there call
+    :meth:`Worker.request_stop` directly.
+    """
+    try:
+        signal.signal(
+            signal.SIGTERM, lambda _signum, _frame: worker.request_stop()
+        )
+        return True
+    except ValueError:
+        return False
 
 
 def worker_main(
@@ -174,4 +245,5 @@ def worker_main(
         batch_size=batch_size,
         poll_seconds=poll_seconds,
     )
+    install_stop_handler(worker)
     return worker.run(max_items=max_items)

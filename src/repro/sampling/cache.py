@@ -20,38 +20,23 @@ import hashlib
 import os
 import pickle
 import tempfile
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Iterable, Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 from repro.lang.ast import Program
 from repro.lang.interp import ExecutionTrace
-from repro.lang.pretty import pretty_program
 from repro.sampling.tracegen import collect_traces
 
-
-def fingerprint_program(program: Program) -> str:
-    """Stable digest of a program's structure (via the pretty-printer).
-
-    Computed fresh every call: memoizing it on the AST would survive
-    ``copy.deepcopy`` (e.g. ``relax_initializers``) and hand a
-    structurally different program the original's digest.
-    """
-    return hashlib.sha1(pretty_program(program).encode()).hexdigest()
-
-
-def fingerprint_inputs(inputs: Iterable[Mapping[str, object]]) -> str:
-    """Stable digest of an input-assignment sequence."""
-    hasher = hashlib.sha1()
-    for assignment in inputs:
-        for name, value in sorted(assignment.items()):
-            hasher.update(name.encode())
-            hasher.update(b"=")
-            hasher.update(repr(value).encode())
-            hasher.update(b";")
-        hasher.update(b"|")
-    return hasher.hexdigest()
+# The fingerprint helpers moved to repro.utils.fingerprint (one
+# canonical keying scheme shared with the serving dedup/memo and the
+# distributed queue's item ids); re-exported here for existing callers.
+from repro.utils.fingerprint import (  # noqa: F401 — re-export
+    fingerprint_inputs,
+    fingerprint_program,
+)
 
 
 @dataclass
@@ -124,6 +109,13 @@ class TraceCache:
         self.max_entries = max_entries
         self.stats = CacheStats()
         self._entries: OrderedDict[tuple, object] = OrderedDict()
+        # Guards the LRU bookkeeping only: the serving front end solves
+        # on a thread pool sharing one cache, and OrderedDict reordering
+        # is not safe under concurrent mutation.  compute() runs outside
+        # the lock — two threads may race to compute the same entry
+        # (one result wins, both are correct), but never block each
+        # other's unrelated work.
+        self._lock = threading.Lock()
         self.cache_dir: Path | None = Path(cache_dir) if cache_dir else None
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
@@ -171,21 +163,24 @@ class TraceCache:
         return len(self._entries)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     # -- generic memoization ---------------------------------------------------
 
     def _lookup(self, key: tuple) -> tuple[bool, object]:
-        if key in self._entries:
-            self._entries.move_to_end(key)
-            return True, self._entries[key]
-        return False, None
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                return True, self._entries[key]
+            return False, None
 
     def _store(self, key: tuple, value: object) -> None:
-        self._entries[key] = value
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            self._entries[key] = value
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     def memoize(
         self,

@@ -1,0 +1,151 @@
+"""Admission control: per-client token buckets + a global in-flight cap.
+
+Solving is expensive (seconds of training per problem), so the server
+refuses work it cannot absorb *before* the solve starts, with the
+standard HTTP vocabulary:
+
+* ``429 Too Many Requests`` — one client exceeded its request rate
+  (token bucket: ``burst`` requests instantly, refilling at ``rate``
+  per second).  ``Retry-After`` says when the next token lands.
+* ``503 Service Unavailable`` — the whole server is at its in-flight
+  solve cap; ``Retry-After`` is a coarse back-off hint.
+
+Dedup runs *after* admission on purpose: a client hammering the same
+problem still spends its own tokens even though the solves collapse —
+quotas meter requests, not unique work.
+
+Everything is computed lazily from monotonic timestamps (no refill
+task to leak) and guarded by one lock, so executor threads and the
+event loop can consult it concurrently.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Callable
+
+# Idle client buckets are pruned once they are full again (holding a
+# full bucket is indistinguishable from holding no bucket), bounding
+# state to the set of *recently active* clients.
+PRUNE_EVERY = 256
+
+
+class TokenBucket:
+    """One client's quota: ``burst`` capacity, ``rate`` tokens/second."""
+
+    def __init__(self, rate: float, burst: float, now: float):
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.updated = now
+
+    def refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self.updated)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.updated = now
+
+    def try_take(self, now: float) -> float:
+        """Take one token; returns 0.0 on success, else seconds to wait."""
+        self.refill(now)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate if self.rate > 0 else math.inf
+
+
+class AdmissionController:
+    """Decides, per request, whether the server takes the work.
+
+    Args:
+        rate: sustained per-client request rate (tokens/second);
+            ``<= 0`` disables rate limiting.
+        burst: bucket capacity — requests a quiet client may issue
+            back-to-back before the sustained rate kicks in.
+        max_inflight: global cap on concurrently admitted solves;
+            ``<= 0`` disables the cap.
+        clock: injectable monotonic clock (tests).
+    """
+
+    def __init__(
+        self,
+        *,
+        rate: float = 5.0,
+        burst: int = 10,
+        max_inflight: int = 8,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.rate = rate
+        self.burst = float(max(1, burst))
+        self.max_inflight = max_inflight
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: dict[str, TokenBucket] = {}
+        self._inflight = 0
+        self._admissions = 0
+        self.rejected_rate = 0
+        self.rejected_capacity = 0
+
+    # -- decisions -------------------------------------------------------------
+
+    def admit(self, client: str) -> tuple[int, float]:
+        """Try to admit one request from ``client``.
+
+        Returns ``(status, retry_after)``: status 0 = admitted (the
+        caller MUST pair it with :meth:`release`), 429 = client over
+        rate, 503 = server at capacity.  ``retry_after`` is the
+        suggested back-off in seconds for rejections, 0.0 otherwise.
+        """
+        now = self._clock()
+        with self._lock:
+            if self.rate > 0:
+                bucket = self._buckets.get(client)
+                if bucket is None:
+                    bucket = TokenBucket(self.rate, self.burst, now)
+                    self._buckets[client] = bucket
+                wait = bucket.try_take(now)
+                if wait > 0:
+                    self.rejected_rate += 1
+                    return 429, wait
+            if 0 < self.max_inflight <= self._inflight:
+                self.rejected_capacity += 1
+                # No queue position to compute a precise wait from;
+                # suggest a coarse constant back-off.
+                return 503, 1.0
+            self._inflight += 1
+            self._admissions += 1
+            if self._admissions % PRUNE_EVERY == 0:
+                self._prune(now)
+            return 0, 0.0
+
+    def release(self) -> None:
+        """Mark one admitted request finished (success or failure)."""
+        with self._lock:
+            self._inflight = max(0, self._inflight - 1)
+
+    def _prune(self, now: float) -> None:
+        for client, bucket in list(self._buckets.items()):
+            bucket.refill(now)
+            if bucket.tokens >= bucket.burst:
+                del self._buckets[client]
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "inflight": self._inflight,
+                "max_inflight": self.max_inflight,
+                "rate": self.rate,
+                "burst": self.burst,
+                "clients_tracked": len(self._buckets),
+                "admitted": self._admissions,
+                "rejected_rate": self.rejected_rate,
+                "rejected_capacity": self.rejected_capacity,
+            }

@@ -1,0 +1,71 @@
+"""In-flight request collapsing keyed by canonical fingerprint.
+
+N concurrent identical solve requests (same problem, solver, and
+config → same :func:`~repro.utils.fingerprint.problem_fingerprint`)
+must trigger exactly **one** solve: the first request starts the work
+as the *leader*; every overlapping request becomes a *follower* and
+awaits the same task.  The outcome — success or exception — fans out
+to every waiter.
+
+This is distinct from the result memo: dedup collapses requests that
+overlap *in time*; the memo replays requests that repeat *after*
+completion.  Together they guarantee at most one solve per fingerprint
+is ever running, and at most one per memo window ever runs at all.
+
+The shared work runs as its own task and every waiter awaits it
+through :func:`asyncio.shield`, so no client disconnect — leader or
+follower — can cancel the solve under the others.  All state lives on
+the event loop thread, so no lock is needed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable
+
+
+class InflightDeduper:
+    """Collapses concurrent identical requests onto one running solve."""
+
+    def __init__(self) -> None:
+        self._inflight: dict[str, asyncio.Task] = {}
+        self.led = 0
+        self.joined = 0
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    async def run(
+        self,
+        key: str,
+        work: Callable[[], Awaitable[object]],
+    ) -> tuple[object, bool]:
+        """Run ``work`` once per in-flight ``key``.
+
+        Returns ``(outcome, joined)``: ``joined`` is False for the
+        leader whose call actually started ``work`` and True for
+        followers that shared its outcome.  The work's exception
+        propagates to every waiter; the key is cleared on completion,
+        so a failed fingerprint can be retried by the next request.
+        """
+        task = self._inflight.get(key)
+        if task is None:
+            joined = False
+            self.led += 1
+            task = asyncio.get_running_loop().create_task(work())
+            self._inflight[key] = task
+            task.add_done_callback(lambda t: self._finish(key, t))
+        else:
+            joined = True
+            self.joined += 1
+        return await asyncio.shield(task), joined
+
+    def _finish(self, key: str, task: asyncio.Task) -> None:
+        self._inflight.pop(key, None)
+        if not task.cancelled():
+            # Retrieve once so a task whose every waiter disconnected
+            # does not log "exception was never retrieved".
+            task.exception()
+
+    def stats(self) -> dict:
+        return {"inflight": len(self._inflight), "led": self.led, "joined": self.joined}

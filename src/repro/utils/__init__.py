@@ -1,9 +1,14 @@
-"""Shared utilities: rational rounding, RNG plumbing, timing, tables."""
+"""Shared utilities: rational rounding, fingerprints, timing, tables."""
 
 from repro.utils.rational import (
     round_to_rational,
     scale_to_integer_coeffs,
     nice_coefficients,
+)
+from repro.utils.fingerprint import (
+    fingerprint_inputs,
+    fingerprint_program,
+    problem_fingerprint,
 )
 from repro.utils.timing import Stopwatch
 from repro.utils.table import format_table
@@ -12,6 +17,9 @@ __all__ = [
     "round_to_rational",
     "scale_to_integer_coeffs",
     "nice_coefficients",
+    "fingerprint_inputs",
+    "fingerprint_program",
+    "problem_fingerprint",
     "Stopwatch",
     "format_table",
 ]

@@ -224,6 +224,61 @@ def test_service_solve_many_inline_shares_cache_and_events():
     assert [e.problem for e in done] == ["a1", "a2"]
 
 
+def test_service_memo_replays_without_any_training(monkeypatch):
+    """With memo_size set, a repeated solve returns the stored result:
+    zero training epochs, zero attempts — only the completion event."""
+    import repro.infer.pipeline as pipeline
+
+    train_calls = []
+    real_train = pipeline.train_gcln
+    real_restarts = pipeline.train_gcln_restarts
+
+    def counting_train(*args, **kwargs):
+        train_calls.append(1)
+        return real_train(*args, **kwargs)
+
+    def counting_restarts(*args, **kwargs):
+        train_calls.append(1)
+        return real_restarts(*args, **kwargs)
+
+    monkeypatch.setattr(pipeline, "train_gcln", counting_train)
+    monkeypatch.setattr(pipeline, "train_gcln_restarts", counting_restarts)
+    service = InvariantService(FAST_CONFIG, memo_size=4)
+    events = []
+    service.subscribe(events.append)
+
+    problem = tiny_problem()
+    first = service.solve(problem)
+    assert first.solved
+    trained_once = len(train_calls)
+    assert trained_once > 0
+    started = sum(1 for e in events if isinstance(e, AttemptStarted))
+    assert started > 0
+
+    second = service.solve(tiny_problem())  # same fingerprint, new object
+    assert second is first  # the memoized result, not a re-solve
+    assert len(train_calls) == trained_once  # ZERO new training calls
+    assert (
+        sum(1 for e in events if isinstance(e, AttemptStarted)) == started
+    )  # no new attempts
+    # ... but the completion event still fired for the memo hit
+    assert sum(1 for e in events if isinstance(e, ProblemSolved)) == 2
+    assert service.memo.stats()["hits"] == 1
+
+    # a different config is a different fingerprint → real solve
+    service.configure("gcln", InferenceConfig(max_epochs=30, dropout_schedule=(0.5,)))
+    service.solve(tiny_problem())
+    assert len(train_calls) > trained_once
+
+
+def test_service_memo_off_by_default():
+    service = InvariantService(FAST_CONFIG)
+    assert service.memo is None
+    a = service.solve(tiny_problem(), solver="guess_and_check")
+    b = service.solve(tiny_problem(), solver="guess_and_check")
+    assert a is not b  # no memoization without opting in
+
+
 def test_solve_many_emits_completion_for_timeouts(monkeypatch):
     """Every record gets a ProblemSolved event, even on timeout."""
     import time

@@ -310,8 +310,16 @@ def test_suite_items_resolve_from_registry():
     from repro.bench import nla_problem
 
     item = item_for_problem(nla_problem("ps2"), 3, suite="nla")
-    assert item["id"] == "0003-ps2"
+    # NNNN-name-ffffffff: input index, name, canonical fingerprint prefix.
+    assert item["id"].startswith("0003-ps2-")
+    assert len(item["id"]) == len("0003-ps2-") + 8
+    assert item["fingerprint"].startswith(item["id"].rsplit("-", 1)[1])
     assert resolve_item_problem(item) == nla_problem("ps2")
+    # Same problem + settings → same id (what makes resume dedup work);
+    # different solver or config → different id (stale-resume guard).
+    assert item_for_problem(nla_problem("ps2"), 3, suite="nla")["id"] == item["id"]
+    other = item_for_problem(nla_problem("ps2"), 3, suite="nla", solver="numinv")
+    assert other["id"] != item["id"]
 
 
 def test_inline_items_resolve_without_registry():
@@ -411,7 +419,8 @@ def test_worker_main_entry_point(tmp_path):
     )
     queue.enqueue([item_for_problem(tiny_problem("wm"), 0)])
     assert worker_main(str(tmp_path / "q"), worker_id="wm") == 1
-    assert queue.journaled_ids() == {"0000-wm"}
+    [journaled] = queue.journaled_ids()
+    assert journaled.startswith("0000-wm-")
 
 
 # -- coordinator / run_many(workers=N) ----------------------------------------
@@ -432,7 +441,10 @@ def test_two_workers_match_sequential_run(tmp_path):
     ]
     # Both workers share one journal; every item acked exactly once.
     queue = WorkQueue.open(tmp_path / "q")
-    assert sorted(queue.journaled_ids()) == ["0000-eq1", "0001-eq2", "0002-eq3"]
+    journaled = sorted(queue.journaled_ids())
+    assert len(journaled) == 3
+    for item_id, prefix in zip(journaled, ["0000-eq1-", "0001-eq2-", "0002-eq3-"]):
+        assert item_id.startswith(prefix)
 
 
 def test_distributed_resume_skips_journaled_records(tmp_path):
@@ -442,7 +454,12 @@ def test_distributed_resume_skips_journaled_records(tmp_path):
     queue = WorkQueue.create(
         tmp_path / "q", meta={"config": config_to_dict(FAST_CONFIG)}
     )
-    queue.enqueue([item_for_problem(p, i) for i, p in enumerate(problems)])
+    # Same config as the coordinator below: item ids embed the
+    # (problem, solver, config) fingerprint, so resume only dedups when
+    # the settings match.
+    queue.enqueue(
+        [item_for_problem(p, i, config=FAST_CONFIG) for i, p in enumerate(problems)]
+    )
     Worker(queue, worker_id="first").run(max_items=1)  # half-finish
     assert queue.counts()["journaled"] == 1
 
@@ -473,11 +490,13 @@ def test_coordinator_finishes_after_worker_sigkill(tmp_path):
         lease_seconds=0.5,
     )
     problems = [tiny_problem("ka"), tiny_problem("kb", 2)]
-    queue.enqueue([item_for_problem(p, i) for i, p in enumerate(problems)])
+    queue.enqueue(
+        [item_for_problem(p, i, config=FAST_CONFIG) for i, p in enumerate(problems)]
+    )
 
     # A worker that claims an item and is killed before acking.
     claimed = queue.claim("doomed", limit=1)
-    assert [i.id for i in claimed] == ["0000-ka"]
+    assert len(claimed) == 1 and claimed[0].id.startswith("0000-ka-")
 
     process = multiprocessing.get_context().Process(
         target=worker_main, args=(str(tmp_path / "q"),),
@@ -502,8 +521,72 @@ def test_coordinator_finishes_after_worker_sigkill(tmp_path):
     assert [r.name for r in records] == ["ka", "kb"]
     assert all(r.status == STATUS_OK for r in records)
     # No item was journaled twice despite the crash + re-claim.
-    ids = [e["id"] for e in queue.journal_entries()]
-    assert sorted(ids) == ["0000-ka", "0001-kb"]
+    ids = sorted(e["id"] for e in queue.journal_entries())
+    assert len(ids) == 2 and len(set(ids)) == 2
+    assert ids[0].startswith("0000-ka-") and ids[1].startswith("0001-kb-")
+
+
+def test_worker_stop_request_acks_current_and_releases_rest(tmp_path):
+    """A graceful stop finishes the in-flight item, releases the rest of
+    the claim batch back to pending, and returns normally."""
+    queue = WorkQueue.create(
+        tmp_path / "q", meta={"config": config_to_dict(FAST_CONFIG)}
+    )
+    problems = [tiny_problem("ga"), tiny_problem("gb", 2), tiny_problem("gc", 3)]
+    queue.enqueue(
+        [item_for_problem(p, i, config=FAST_CONFIG) for i, p in enumerate(problems)]
+    )
+    worker = Worker(queue, worker_id="stopper", batch_size=3)
+    worker.progress = lambda record: worker.request_stop()  # stop after #1
+    processed = worker.run()
+    assert processed == 1
+    counts = queue.counts()
+    # the two unstarted items went straight back to pending — not
+    # stranded in claimed/ waiting for a lease to expire
+    assert counts == {"pending": 2, "claimed": 0, "done": 1, "journaled": 1}
+    assert queue.journal_entries()[0]["id"].startswith("0000-ga-")
+
+    # a resumed drain picks them up immediately (lease is 300s — finishing
+    # fast proves nothing waited on expiry)
+    finisher = Worker(queue, worker_id="finisher")
+    assert finisher.run() == 2
+    assert queue.unfinished() == 0
+
+
+def test_worker_sigterm_exits_cleanly_without_stranding_claims(tmp_path):
+    """SIGTERM mid-drain: exit code 0, nothing left in claimed/, and the
+    remaining items resume with no lease-timeout wait."""
+    queue = WorkQueue.create(
+        tmp_path / "q", meta={"config": config_to_dict(FAST_CONFIG)}
+    )  # default 300s lease: any post-TERM progress proves no expiry wait
+    problems = [tiny_problem("ta"), tiny_problem("tb", 2), tiny_problem("tc", 3)]
+    queue.enqueue(
+        [item_for_problem(p, i, config=FAST_CONFIG) for i, p in enumerate(problems)]
+    )
+    process = multiprocessing.get_context().Process(
+        target=worker_main, args=(str(tmp_path / "q"),),
+        kwargs={"worker_id": "termed", "batch_size": 3, "poll_seconds": 0.05},
+    )
+    start = time.time()
+    process.start()
+    try:
+        deadline = time.time() + 30
+        while queue.counts()["journaled"] < 1 and time.time() < deadline:
+            time.sleep(0.02)
+        os.kill(process.pid, signal.SIGTERM)
+    except ProcessLookupError:
+        pass  # drained everything before the signal landed
+    finally:
+        process.join(timeout=60)
+    assert process.exitcode == 0  # graceful, not signal death (-15)
+    assert queue.counts()["claimed"] == 0  # nothing stranded on a lease
+
+    # resume completes the suite well inside the 300s lease window
+    finisher = Worker(queue, worker_id="resume")
+    finisher.run()
+    assert queue.unfinished() == 0
+    assert queue.counts()["journaled"] == 3
+    assert time.time() - start < 120  # nowhere near a lease expiry
 
 
 def test_merge_payload_matches_run_all_shape(tmp_path):

@@ -1,0 +1,85 @@
+"""Tests for the canonical problem fingerprint (repro.utils.fingerprint)."""
+
+from repro.bench import nla_problem
+from repro.infer import InferenceConfig, Problem
+from repro.utils.fingerprint import (
+    fingerprint_inputs,
+    fingerprint_program,
+    problem_fingerprint,
+)
+
+
+def tiny_problem(name: str = "fp", step: int = 1, max_degree: int = 1) -> Problem:
+    return Problem(
+        name=name,
+        source=f"""
+program {name};
+input n;
+assume (n >= 0);
+i = 0; x = 0;
+while (i < n) {{ i = i + 1; x = x + {step}; }}
+""",
+        train_inputs=[{"n": v} for v in range(0, 6)],
+        max_degree=max_degree,
+        ground_truth={0: [f"x == {step} * i"]},
+    )
+
+
+def test_fingerprint_is_deterministic():
+    a = problem_fingerprint(tiny_problem(), "gcln", InferenceConfig())
+    b = problem_fingerprint(tiny_problem(), "gcln", InferenceConfig())
+    assert a == b
+    assert len(a) == 40 and int(a, 16) >= 0  # sha1 hex
+
+
+def test_none_config_means_default_config():
+    problem = tiny_problem()
+    assert problem_fingerprint(problem) == problem_fingerprint(
+        problem, "gcln", InferenceConfig()
+    )
+
+
+def test_fingerprint_covers_program_structure_not_formatting():
+    """Two parses of differently-formatted but identical programs key
+    the same (the program is keyed by its pretty-print, not bytes)."""
+    dense = tiny_problem()
+    spread = tiny_problem()
+    spread.source = dense.source.replace("i = 0; x = 0;", "i = 0;\n\n  x = 0;")
+    assert fingerprint_program(spread.program) == fingerprint_program(
+        dense.program
+    )
+    assert problem_fingerprint(spread) == problem_fingerprint(dense)
+
+
+def test_fingerprint_sensitive_to_each_component():
+    base = problem_fingerprint(tiny_problem(), "gcln", InferenceConfig())
+    # program change
+    assert problem_fingerprint(tiny_problem(step=2)) != base
+    # input change
+    changed = tiny_problem()
+    changed.train_inputs = [{"n": v} for v in range(0, 7)]
+    assert problem_fingerprint(changed) != base
+    # solver change
+    assert problem_fingerprint(tiny_problem(), "numinv") != base
+    # config change
+    assert (
+        problem_fingerprint(
+            tiny_problem(), "gcln", InferenceConfig(max_epochs=7)
+        )
+        != base
+    )
+    # problem metadata change (degree feeds term generation)
+    assert problem_fingerprint(tiny_problem(max_degree=3)) != base
+
+
+def test_fingerprint_inputs_order_insensitive_within_rows():
+    rows_a = [{"a": 1, "b": 2}]
+    rows_b = [{"b": 2, "a": 1}]
+    assert fingerprint_inputs(rows_a) == fingerprint_inputs(rows_b)
+    assert fingerprint_inputs([{"a": 1}]) != fingerprint_inputs([{"a": 2}])
+
+
+def test_registry_problems_have_distinct_fingerprints():
+    assert problem_fingerprint(nla_problem("ps2")) != problem_fingerprint(
+        nla_problem("ps3")
+    )
