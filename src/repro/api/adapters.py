@@ -92,6 +92,7 @@ def solve_result_from_inference(result) -> SolveResult:
         stage_timings=dict(result.stage_timings),
         cache_stats=dict(result.cache_stats),
         backend=result.backend,
+        train_epochs=result.train_epochs,
         raw=result,
     )
 

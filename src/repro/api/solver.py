@@ -100,6 +100,9 @@ class SolveResult:
         backend: resolved tape-replay backend name used for training
             (``"numpy"``/``"fused"``/``"numba"``; empty for solvers
             that do not train).
+        train_epochs: total training epochs spent across attempts
+            (0 for solvers that do not train; the warm-start CI smoke
+            compares warm vs cold totals).
         raw: the strategy's native result object when it has one (the
             G-CLN adapter stores its ``InferenceResult`` here); never
             serialized.
@@ -115,6 +118,7 @@ class SolveResult:
     stage_timings: dict[str, float] = field(default_factory=dict)
     cache_stats: dict[str, int] = field(default_factory=dict)
     backend: str = ""
+    train_epochs: int = 0
     raw: object | None = None
 
     def invariant(self, loop_index: int = 0) -> str:
@@ -137,6 +141,7 @@ class SolveResult:
             "stage_timings": timings,
             "cache_stats": dict(self.cache_stats),
             "backend": self.backend,
+            "train_epochs": self.train_epochs,
             "loops": [loop.to_dict() for loop in self.loops],
         }
 
@@ -159,6 +164,7 @@ class SolveResult:
             stage_timings=dict(data.get("stage_timings", {})),
             cache_stats=dict(data.get("cache_stats", {})),
             backend=data.get("backend", ""),
+            train_epochs=int(data.get("train_epochs", 0)),
         )
 
 
@@ -174,6 +180,7 @@ RESULT_KEYS = frozenset(
         "stage_timings",
         "cache_stats",
         "backend",
+        "train_epochs",
         "loops",
     }
 )

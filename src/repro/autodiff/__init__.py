@@ -8,7 +8,7 @@ verified against central finite differences in the test suite.
 """
 
 from repro.autodiff.tensor import Tensor, no_grad
-from repro.autodiff.tape import Tape
+from repro.autodiff.tape import Tape, TapePool
 from repro.autodiff.backend import (
     Backend,
     available_backends,
@@ -38,6 +38,7 @@ from repro.autodiff.init import normal_init, uniform_init
 __all__ = [
     "Tensor",
     "Tape",
+    "TapePool",
     "Backend",
     "available_backends",
     "get_backend",

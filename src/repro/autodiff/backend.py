@@ -52,6 +52,7 @@ back to the walker.  Correctness never depends on compilability.
 
 from __future__ import annotations
 
+import re
 from typing import Callable
 
 import numpy as np
@@ -118,6 +119,8 @@ class ReplayProgram:
         source: str,
         n_segments: int,
         n_jitted: int,
+        n_bwd_segments: int = 0,
+        n_bwd_jitted: int = 0,
     ):
         self.env = env
         self.forward: Callable[[], None] = env["_fwd"]
@@ -127,6 +130,8 @@ class ReplayProgram:
         self.source = source
         self.n_segments = n_segments
         self.n_jitted = n_jitted
+        self.n_bwd_segments = n_bwd_segments
+        self.n_bwd_jitted = n_bwd_jitted
 
     def guards_ok(self) -> bool:
         """True while every bound leaf still owns the compiled buffers.
@@ -169,6 +174,23 @@ _SEGMENT_KINDS = frozenset(
 # Kinds heavy enough that a single-node segment is worth a JIT loop.
 _HEAVY_KINDS = frozenset(
     {"exp", "log", "sqrt", "tanh", "sigmoid", "gaussian", "pbqu"}
+)
+
+# Backward lines eligible for segment JIT.  Unlike the forward pass
+# (which segments *nodes*), the backward pass is segmented on the
+# generated source lines: a line is JITable when it is a plain
+# same-size elementwise ufunc call over C-contiguous env arrays and
+# float literals.  Anything with reshapes, reductions, scatter,
+# dynamic-scalar locals (``_tN``), or ``if`` blocks breaks a run.
+_BWD_CALL_RE = re.compile(
+    r"^np\.(negative|square|sqrt|reciprocal|abs|add|subtract|multiply|"
+    r"divide|maximum|minimum|power)\(([^,()]+)(?:, ([^,()]+))?, "
+    r"out=(\w+)\)$"
+)
+_BWD_COPYTO_RE = re.compile(r"^np\.copyto\((\w+), (\w+)\)$")
+_BWD_FILL_RE = re.compile(r"^(\w+)\.fill\((-?[0-9][-+0-9.e]*)\)$")
+_BWD_UNARY_OPS = frozenset(
+    {"negative", "square", "sqrt", "reciprocal", "abs"}
 )
 
 
@@ -440,6 +462,7 @@ class _PlanCompiler:
             self.failure = str(exc)
             return None
         n_segments, n_jitted = self._finalize_segments()
+        n_bwd_segments, n_bwd_jitted = self._finalize_bwd_segments()
         body_f = "\n".join(f"    {ln}" for ln in self.fwd_lines) or "    pass"
         body_b = "\n".join(f"    {ln}" for ln in self.bwd_lines) or "    pass"
         source = f"def _fwd():\n{body_f}\n\ndef _bwd():\n{body_b}\n"
@@ -450,7 +473,7 @@ class _PlanCompiler:
             self.env[name].fill(u)
         return ReplayProgram(
             self.env, self.data_guard, self.grad_guard, source,
-            n_segments, n_jitted,
+            n_segments, n_jitted, n_bwd_segments, n_bwd_jitted,
         )
 
     # Forward lines are tagged with their node so the segment pass can
@@ -512,6 +535,121 @@ class _PlanCompiler:
             elif p.data.ndim != 0:
                 return False
         return True
+
+    # -- backward segments -------------------------------------------------
+
+    def _bwd_operand(self, token: str, size: int):
+        """Resolve a backward-line operand, or None if unsupported.
+
+        Returns the env array (same element count, C-contiguous, float
+        or bool, never a rebindable leaf-grad buffer) or a Python float
+        for literal tokens.
+        """
+        if token.startswith("lg"):
+            # Leaf gradients rebind through env on every replay
+            # (prepare_grads); a kernel would pin a stale buffer.
+            return None
+        arr = self.env.get(token)
+        if isinstance(arr, np.ndarray):
+            if (
+                arr.ndim >= 1
+                and arr.size == size
+                and arr.flags.c_contiguous
+                and arr.dtype in (np.float64, np.bool_)
+            ):
+                return arr
+            return None
+        try:
+            return float(token)
+        except ValueError:
+            return None
+
+    def _parse_bwd_line(self, line: str):
+        """Lower one backward source line to ``(out, op, operands)``.
+
+        Returns None when the line cannot join a JIT run.  ``out`` is
+        the (float64) destination array, ``operands`` resolved arrays
+        or floats.
+        """
+        m = _BWD_CALL_RE.match(line)
+        if m is not None:
+            op, a1, a2, out_name = m.groups()
+            args = [a1] if a2 is None else [a1, a2]
+            if (op in _BWD_UNARY_OPS) != (a2 is None):
+                return None
+        else:
+            m = _BWD_COPYTO_RE.match(line)
+            if m is not None:
+                out_name, src = m.groups()
+                op, args = "copyto", [src]
+            else:
+                m = _BWD_FILL_RE.match(line)
+                if m is None:
+                    return None
+                out_name, lit = m.groups()
+                op, args = "fill", [lit]
+        out = self.env.get(out_name)
+        if (
+            not isinstance(out, np.ndarray)
+            or out.ndim == 0
+            or not out.flags.c_contiguous
+            or out.dtype != np.float64
+            or out_name.startswith("lg")
+        ):
+            return None
+        operands = []
+        for token in args:
+            operand = self._bwd_operand(token.strip(), out.size)
+            if operand is None:
+                return None
+            operands.append(operand)
+        if op != "fill" and all(
+            not isinstance(o, np.ndarray) for o in operands
+        ):
+            return None  # degenerate constant line; keep numpy
+        return out, op, operands
+
+    def _finalize_bwd_segments(self) -> tuple[int, int]:
+        """Group adjacent JITable backward lines; JIT runs of >= 2.
+
+        Mirrors :meth:`_finalize_segments` for the backward pass.  Runs
+        are maximal stretches of parseable lines over buffers of one
+        element count; short runs stay as their numpy lines.
+        """
+        runs: list[tuple[int, int, list]] = []
+        start = None
+        parsed: list = []
+        for i, line in enumerate(self.bwd_lines):
+            lowered = self._parse_bwd_line(line)
+            if lowered is not None and (
+                not parsed or lowered[0].size == parsed[0][0].size
+            ):
+                if start is None:
+                    start = i
+                parsed.append(lowered)
+                continue
+            if len(parsed) >= 2:
+                runs.append((start, i, parsed))
+            start, parsed = None, []
+            if lowered is not None:
+                start, parsed = i, [lowered]
+        if len(parsed) >= 2:
+            runs.append((start, len(self.bwd_lines), parsed))
+        n_jitted = 0
+        if self.jit and runs:
+            from repro.autodiff import backend_numba
+
+            replaced: list[tuple[int, int, str]] = []
+            for first, last, lowered in runs:
+                caller = backend_numba.jit_backward_run(lowered)
+                if caller is None:
+                    continue
+                name = self._bind(caller, "jb")
+                replaced.append((first, last, f"{name}()"))
+                n_jitted += 1
+            for first, last, call in sorted(replaced, reverse=True):
+                self.bwd_lines[first:last] = [call]
+        return len(runs), n_jitted
 
     # -- forward ops -------------------------------------------------------
 

@@ -221,6 +221,118 @@ def _compile_kernel(source: str):
     return kernel
 
 
+def codegen_backward(lowered) -> tuple[str, list]:
+    """Generate a per-element loop for a run of backward source lines.
+
+    Args:
+        lowered: the plan compiler's parsed lines, each
+            ``(out_array, op, operands)`` with operands already resolved
+            to same-size env arrays or Python floats.
+
+    Returns:
+        ``(source, arrays)`` — kernel source (argument order
+        ``n, a0..``) and the arrays to pass flattened.  Float operands
+        embed as literals (backward lines carry no dynamic scalars; the
+        compiler rejects ``_tN`` locals).
+    """
+    arrays: list = []
+    arr_names: dict[int, str] = {}
+    body: list[str] = []
+
+    def arr(a: np.ndarray) -> str:
+        name = arr_names.get(id(a))
+        if name is None:
+            name = f"a{len(arrays)}"
+            arr_names[id(a)] = name
+            arrays.append(a)
+        return name
+
+    def val(operand) -> str:
+        if isinstance(operand, np.ndarray):
+            return f"{arr(operand)}[i]"
+        return _lit(operand)
+
+    for out, op, operands in lowered:
+        if op == "fill":
+            expr = _lit(float(operands[0]))
+        elif op == "copyto":
+            expr = val(operands[0])
+        elif op == "negative":
+            expr = f"-{val(operands[0])}"
+        elif op == "square":
+            x = val(operands[0])
+            expr = f"{x} * {x}"
+        elif op == "sqrt":
+            expr = f"math.sqrt({val(operands[0])})"
+        elif op == "reciprocal":
+            expr = f"1.0 / {val(operands[0])}"
+        elif op == "abs":
+            expr = f"abs({val(operands[0])})"
+        elif op == "add":
+            expr = f"{val(operands[0])} + {val(operands[1])}"
+        elif op == "subtract":
+            expr = f"{val(operands[0])} - {val(operands[1])}"
+        elif op == "multiply":
+            expr = f"{val(operands[0])} * {val(operands[1])}"
+        elif op == "divide":
+            expr = f"{val(operands[0])} / {val(operands[1])}"
+        elif op == "maximum":
+            expr = f"max({val(operands[0])}, {val(operands[1])})"
+        elif op == "minimum":
+            expr = f"min({val(operands[0])}, {val(operands[1])})"
+        elif op == "power":
+            expr = f"{val(operands[0])} ** {val(operands[1])}"
+        else:
+            raise UnsupportedSegment(f"backward op {op!r}")
+        body.append(f"{arr(out)}[i] = {expr}")
+
+    args = ", ".join(["n"] + [f"a{i}" for i in range(len(arrays))])
+    lines = "\n".join(f"        {ln}" for ln in body)
+    source = f"def _segment({args}):\n    for i in range(n):\n{lines}\n"
+    return source, arrays
+
+
+def jit_backward_run(lowered) -> Callable[[], None] | None:
+    """JIT one backward run; None keeps the fused numpy lines.
+
+    The eager compile trigger runs against the real buffers, which at
+    plan-build time may hold uninitialized scratch (``np.empty``) —
+    including zeros that would make njit's scalar division *raise*
+    where numpy yields inf.  Every buffer is therefore snapshotted,
+    filled with ones (division- and sqrt-safe), and restored, so the
+    trigger validates compilation without perturbing replay state.
+    """
+    if not numba_available():
+        return None
+    try:
+        source, arrays = codegen_backward(lowered)
+    except UnsupportedSegment:
+        return None
+    kernel = _compile_kernel(source)
+    if kernel is None:
+        return None
+    n = int(lowered[0][0].size)
+    flat = tuple(a.reshape(-1) for a in arrays)
+
+    def caller() -> None:
+        kernel(n, *flat)
+
+    snapshots = [a.copy() for a in arrays]
+    try:
+        for a in arrays:
+            a.fill(1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            caller()  # eager trigger: compile (and validate) now
+    except Exception:
+        _KERNEL_CACHE[source] = None
+        return None
+    finally:
+        for a, snap in zip(arrays, snapshots):
+            a[...] = snap
+    return caller
+
+
 def jit_forward_segment(compiler, seg) -> Callable[[], None] | None:
     """JIT one fused forward segment; None keeps the numpy lines.
 

@@ -34,6 +34,8 @@ epoch.  Correctness never depends on replayability or compilability.
 
 from __future__ import annotations
 
+import time
+from collections import OrderedDict
 from typing import Callable
 
 import numpy as np
@@ -66,6 +68,12 @@ class Tape:
         self.replayable = False
         self.replays = 0
         self.eager_steps = 0
+        # Warm-start observability: cumulative plan-compile wall time
+        # and how often this tape was served from / deposited into a
+        # TapePool (see repro.cln.train).
+        self.compile_ms = 0.0
+        self.pool_hits = 0
+        self.pool_misses = 0
 
     @property
     def recorded(self) -> bool:
@@ -120,6 +128,15 @@ class Tape:
             "eager_steps": self.eager_steps,
             "fused_segments": plan.n_segments if plan is not None else 0,
             "jitted_segments": plan.n_jitted if plan is not None else 0,
+            "fused_bwd_segments": (
+                plan.n_bwd_segments if plan is not None else 0
+            ),
+            "jitted_bwd_segments": (
+                plan.n_bwd_jitted if plan is not None else 0
+            ),
+            "compile_ms": self.compile_ms,
+            "pool_hits": self.pool_hits,
+            "pool_misses": self.pool_misses,
             "fallback_reason": self.plan_failure,
         }
 
@@ -160,7 +177,9 @@ class Tape:
             self._plan_failed = False
         if self._plan_failed or self.backend == "numpy":
             return None
+        started = time.perf_counter()
         plan = self._backend_obj.prepare(self._nodes, self._root)
+        self.compile_ms += (time.perf_counter() - started) * 1000.0
         if plan is None:
             self._plan_failed = True
             self.plan_failure = _backend_mod.compile_plan.last_failure
@@ -194,3 +213,57 @@ class Tape:
             grad = node.grad
             node.grad = None
             node._backward_fn(grad)  # type: ignore[misc]
+
+
+class TapePool:
+    """LRU pool of recorded tapes keyed by graph structure.
+
+    The warm-start layer deposits a *payload* (a recorded tape plus
+    whatever leaf bookkeeping the depositor needs to rebind fresh
+    values — see ``repro.cln.train``) under a structural key; a later
+    training call with the same key adopts the payload and skips both
+    graph recording and plan compilation.  The pool is a plain
+    most-recently-used cache: ``get`` promotes, ``put`` evicts the
+    least recently used entry beyond ``max_entries``.  A pool with
+    ``max_entries <= 0`` is permanently disabled (gets always miss,
+    puts are dropped), which is how ``--tape-pool-size 0`` turns the
+    reuse path off without touching call sites.
+    """
+
+    def __init__(self, max_entries: int = 8):
+        self.max_entries = max_entries
+        self._entries: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key):
+        """The payload stored under ``key``, or ``None`` (a miss)."""
+        if self.max_entries <= 0:
+            return None
+        payload = self._entries.get(key)
+        if payload is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return payload
+
+    def put(self, key, payload) -> None:
+        """Deposit ``payload`` under ``key``, evicting beyond capacity."""
+        if self.max_entries <= 0:
+            return
+        self._entries[key] = payload
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+        }

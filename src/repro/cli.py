@@ -111,7 +111,12 @@ def _cmd_solvers(_args: argparse.Namespace) -> int:
 def _cmd_profile(args: argparse.Namespace) -> int:
     problem = nla_problem(args.problem)
     service = InvariantService(
-        InferenceConfig(max_epochs=args.epochs, backend=args.backend),
+        InferenceConfig(
+            max_epochs=args.epochs,
+            backend=args.backend,
+            warm_start=args.warm_start,
+            tape_pool_size=args.tape_pool_size,
+        ),
         cache_dir=args.cache_dir,
     )
     try:
@@ -151,11 +156,21 @@ def _cmd_profile(args: argparse.Namespace) -> int:
                 "n_nodes",
                 "fused_segments",
                 "jitted_segments",
+                "fused_bwd_segments",
+                "jitted_bwd_segments",
                 "replays",
                 "eager_steps",
             )
         )
         print(f"replay:   {replay}")
+        warm = ", ".join(
+            (
+                f"compile_ms={tape_stats['compile_ms']:.1f}",
+                f"pool_hits={tape_stats['pool_hits']}",
+                f"pool_misses={tape_stats['pool_misses']}",
+            )
+        )
+        print(f"warm:     {warm}")
         if tape_stats.get("fallback_reason"):
             print(f"fallback: {tape_stats['fallback_reason']}")
     return 0
@@ -171,7 +186,12 @@ def _last_tape_stats() -> dict | None:
 def _cmd_run(args: argparse.Namespace) -> int:
     problem = nla_problem(args.problem)
     service = InvariantService(
-        InferenceConfig(max_epochs=args.epochs, backend=args.backend),
+        InferenceConfig(
+            max_epochs=args.epochs,
+            backend=args.backend,
+            warm_start=args.warm_start,
+            tape_pool_size=args.tape_pool_size,
+        ),
         cache_dir=args.cache_dir,
     )
     if args.events:
@@ -233,7 +253,12 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
     if not problems:
         raise SystemExit(f"no problems selected from suite {args.suite!r}")
     service = InvariantService(
-        InferenceConfig(max_epochs=args.epochs, backend=args.backend),
+        InferenceConfig(
+            max_epochs=args.epochs,
+            backend=args.backend,
+            warm_start=args.warm_start,
+            tape_pool_size=args.tape_pool_size,
+        ),
         cache_dir=args.cache_dir,
     )
 
@@ -450,6 +475,28 @@ def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_warm_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--warm-start",
+        action="store_true",
+        help=(
+            "carry gate states across retry attempts and seed worse "
+            "restarts from the best-loss member mid-training (off keeps "
+            "attempts fully independent)"
+        ),
+    )
+    parser.add_argument(
+        "--tape-pool-size",
+        type=int,
+        default=8,
+        metavar="N",
+        help=(
+            "cross-attempt tape/plan pool size; same-shape retries skip "
+            "re-recording and re-compiling (0 disables; default: 8)"
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -477,6 +524,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--epochs", type=int, default=2000, help="training epochs per attempt"
     )
     _add_backend_arg(run_parser)
+    _add_warm_args(run_parser)
     run_parser.add_argument(
         "--events",
         action="store_true",
@@ -509,6 +557,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--epochs", type=int, default=2000, help="training epochs per attempt"
     )
     _add_backend_arg(profile_parser)
+    _add_warm_args(profile_parser)
     profile_parser.add_argument(
         "--cache-dir",
         metavar="PATH",
@@ -581,6 +630,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--epochs", type=int, default=2000, help="training epochs per attempt"
     )
     _add_backend_arg(all_parser)
+    _add_warm_args(all_parser)
     all_parser.add_argument(
         "--json",
         metavar="PATH",

@@ -94,6 +94,14 @@ class GCLNConfig:
     # fused numpy plan), "numpy" (reference closure walker), "fused",
     # or "numba".  See repro.autodiff.backend.
     backend: str = "auto"
+    # Warm start (opt-in): carry gate states across retry attempts and
+    # periodically seed worse restarts from the best-loss member during
+    # multi-restart training.  Off keeps every attempt/restart fully
+    # independent — bitwise-identical to training without this field.
+    warm_start: bool = False
+    # Exploit period for best-member seeding (post-anneal epochs between
+    # seeding steps); <= 0 disables seeding even with warm_start on.
+    seed_period: int = 100
     # Extraction.
     max_denominators: tuple[int, ...] = (10, 15, 30)
 
@@ -414,6 +422,7 @@ class GCLN:
             c.lambda1_schedule, c.lambda2_schedule,
             c.weight_l1, c.weight_regularization,
             c.prune_interval, c.prune_threshold, c.max_epochs,
+            c.warm_start, c.seed_period,
         )
 
     def rebind_storage(
@@ -596,6 +605,9 @@ class GCLNStack:
         mask_values = masks.astype(np.float64)
         and_gates = np.stack([m.and_gates.data for m in models])
         or_gates = np.stack([m.or_gates_stacked.data for m in models])
+        # The bool super-stack (models' unit_masks become row views of
+        # it); the tape pool copies fresh masks into it on reuse.
+        self.unit_masks = masks
         self.unit_weights = Tensor(weights, requires_grad=True)
         self._unit_mask_tensor = Tensor(mask_values)
         self.and_gates = Tensor(and_gates, requires_grad=True)

@@ -44,6 +44,12 @@ def build_schedule(
     the dropout schedule; the fractional interval follows the config's
     interval schedule and stays at its finest value once exhausted
     (§5.4: 0.5, then 0.25, ...).
+
+    Attempts are independent by construction (fresh seed + dropout per
+    plan).  With ``config.warm_start`` the pipeline additionally carries
+    the previous attempt's post-training gate states into the next
+    plan's model — the schedule itself is unchanged; only the model
+    initialization warms up.
     """
     intervals: tuple[float | None, ...] = (
         tuple(config.fractional_intervals) if fractional else (None,)

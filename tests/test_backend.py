@@ -250,11 +250,15 @@ def test_tape_stats_keys_and_segments():
     stats = tape.stats()
     assert set(stats) == {
         "backend", "active_backend", "n_nodes", "replayable", "replays",
-        "eager_steps", "fused_segments", "jitted_segments", "fallback_reason",
+        "eager_steps", "fused_segments", "jitted_segments",
+        "fused_bwd_segments", "jitted_bwd_segments", "compile_ms",
+        "pool_hits", "pool_misses", "fallback_reason",
     }
     assert stats["fused_segments"] >= 1
+    assert stats["compile_ms"] > 0.0
     if not numba_available():
         assert stats["jitted_segments"] == 0
+        assert stats["jitted_bwd_segments"] == 0
 
 
 def test_compile_plan_reports_failure_reason():

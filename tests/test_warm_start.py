@@ -1,0 +1,297 @@
+"""Warm-start engine tests.
+
+Covers the three reuse layers this subsystem adds on top of the taped
+trainers — cross-attempt tape/plan pooling, gate-state carry-over, and
+best-member seeding — plus the backward-segment codegen the numba
+backend JITs.  The load-bearing guarantees:
+
+* Adopting a pooled tape is **bitwise-transparent**: a pooled training
+  call produces exactly the weights/gates/loss/epochs of a fresh
+  record+compile run with the same seeds, on every backend.
+* With ``warm_start`` off (the default), nothing changes: the pool is
+  value-transparent and the seeding/carry-over code never runs.
+* Warm solves never spend more training epochs than cold solves.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import InvariantService
+from repro.autodiff import TapePool, numba_available
+from repro.autodiff import backend_numba
+from repro.cln.model import GCLN, GCLNConfig
+from repro.cln.train import train_gcln, train_gcln_restarts
+from repro.infer import InferenceConfig, Problem
+from repro.sampling import normalize_rows
+
+_NO_EARLY_STOP = 10**9
+
+BACKENDS = ["numpy", "fused", "numba"]
+
+
+def _data(samples: int = 12, n_terms: int = 4, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return normalize_rows(np.abs(rng.normal(size=(samples, n_terms))) + 0.5)
+
+
+def _model(seed: int = 7, backend: str = "fused", **overrides) -> GCLN:
+    config = GCLNConfig(
+        n_clauses=3, max_epochs=120, dropout_rate=0.2, backend=backend,
+        **overrides,
+    )
+    return GCLN(4, config, np.random.default_rng(seed), protected_terms=[0])
+
+
+def _skip_unless_available(backend: str) -> None:
+    if backend == "numba" and not numba_available():
+        pytest.skip("numba not importable in this environment")
+
+
+# -- tape/plan pooling -------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_pooled_tape_training_is_bitwise_identical(backend):
+    """A pool hit must replay into exactly the fresh-record results."""
+    _skip_unless_available(backend)
+    data = _data()
+    fresh = _model(seed=9, backend=backend)
+    ref = train_gcln(
+        fresh, data, max_epochs=60, early_stop_patience=_NO_EARLY_STOP
+    )
+
+    pool = TapePool(4)
+    primer = _model(seed=1, backend=backend)
+    train_gcln(
+        primer, data, max_epochs=60,
+        early_stop_patience=_NO_EARLY_STOP, pool=pool,
+    )
+    assert pool.stats() == {
+        "entries": 1, "max_entries": 4, "hits": 0, "misses": 1
+    }
+
+    pooled = _model(seed=9, backend=backend)
+    got = train_gcln(
+        pooled, data, max_epochs=60,
+        early_stop_patience=_NO_EARLY_STOP, pool=pool,
+    )
+    assert pool.stats()["hits"] == 1
+    assert got.epochs == ref.epochs
+    assert got.final_loss == ref.final_loss
+    assert np.array_equal(pooled.unit_weights.data, fresh.unit_weights.data)
+    assert np.array_equal(pooled.and_gates.data, fresh.and_gates.data)
+    assert np.array_equal(
+        pooled.or_gates_stacked.data, fresh.or_gates_stacked.data
+    )
+
+
+@pytest.mark.parametrize("backend", ["numpy", "fused"])
+def test_pooled_restarts_bitwise_identical(backend):
+    """Multi-restart adoption matches fresh recording member-by-member."""
+    data = _data()
+    seeds = (3, 4)
+    fresh_models = [_model(seed=s, backend=backend) for s in seeds]
+    ref = train_gcln_restarts(
+        fresh_models, data, max_epochs=40,
+        early_stop_patience=_NO_EARLY_STOP,
+    )
+
+    pool = TapePool(4)
+    primers = [_model(seed=50 + s, backend=backend) for s in seeds]
+    train_gcln_restarts(
+        primers, data, max_epochs=40,
+        early_stop_patience=_NO_EARLY_STOP, pool=pool,
+    )
+    pooled_models = [_model(seed=s, backend=backend) for s in seeds]
+    got = train_gcln_restarts(
+        pooled_models, data, max_epochs=40,
+        early_stop_patience=_NO_EARLY_STOP, pool=pool,
+    )
+    assert pool.stats()["hits"] == 1
+    for r, g, fresh, pooled in zip(ref, got, fresh_models, pooled_models):
+        assert g.result.final_loss == r.result.final_loss
+        assert g.result.epochs == r.result.epochs
+        assert np.array_equal(
+            pooled.unit_weights.data, fresh.unit_weights.data
+        )
+        assert np.array_equal(pooled.and_gates.data, fresh.and_gates.data)
+
+
+def test_tape_pool_lru_counters_and_disabled():
+    pool = TapePool(2)
+    pool.put("a", 1)
+    pool.put("b", 2)
+    assert pool.get("a") == 1  # promotes "a" over "b"
+    pool.put("c", 3)  # evicts "b", the least recently used
+    assert pool.get("b") is None
+    assert pool.get("c") == 3
+    assert len(pool) == 2
+    assert pool.stats() == {
+        "entries": 2, "max_entries": 2, "hits": 2, "misses": 1
+    }
+
+    disabled = TapePool(0)
+    disabled.put("a", 1)
+    assert disabled.get("a") is None
+    assert disabled.stats()["entries"] == 0
+
+
+def test_stack_signature_tracks_warm_knobs():
+    """Warm knobs key the pool: differing configs must never share tapes."""
+    base = _model(seed=1).stack_signature()
+    warm = _model(seed=1, warm_start=True).stack_signature()
+    period = _model(seed=1, warm_start=True, seed_period=7).stack_signature()
+    assert base != warm
+    assert warm != period
+
+
+# -- warm-start semantics ----------------------------------------------------
+
+
+def test_warm_start_off_restarts_are_bitwise_default():
+    """warm_start=False (and seed_period=0) never perturbs training."""
+    data = _data()
+    seeds = (5, 6)
+
+    def run(**overrides):
+        models = [_model(seed=s, **overrides) for s in seeds]
+        results = train_gcln_restarts(
+            models, data, max_epochs=50,
+            early_stop_patience=_NO_EARLY_STOP,
+        )
+        return models, results
+
+    base_models, base = run()
+    off_models, off = run(warm_start=False)
+    gated_models, gated = run(warm_start=True, seed_period=0)
+    for variant_models, variant in ((off_models, off), (gated_models, gated)):
+        for r, g, bm, vm in zip(base, variant, base_models, variant_models):
+            assert g.result.final_loss == r.result.final_loss
+            assert np.array_equal(vm.unit_weights.data, bm.unit_weights.data)
+            assert np.array_equal(vm.and_gates.data, bm.and_gates.data)
+
+
+def test_seeding_reseeds_worse_members_and_trains_on():
+    """The exploit step copies best values in and training still converges."""
+    data = _data()
+    models = [
+        _model(seed=s, warm_start=True, seed_period=10) for s in (11, 12, 13)
+    ]
+    results = train_gcln_restarts(
+        models, data, max_epochs=60, early_stop_patience=_NO_EARLY_STOP
+    )
+    assert len(results) == 3
+    assert all(np.isfinite(r.result.final_loss) for r in results)
+    # Masks stay member-specific even after seeding copies values.
+    masks = {m.unit_masks.tobytes() for m in models}
+    assert len(masks) >= 1  # smoke: masks remain well-formed arrays
+
+
+def _toy_problem(name: str = "warmtoy") -> Problem:
+    return Problem(
+        name=name,
+        source=f"""
+program {name};
+input n;
+assume (n >= 0);
+i = 0; x = 0;
+while (i < n) {{ i = i + 1; x = x + 2; }}
+""",
+        train_inputs=[{"n": v} for v in range(0, 8)],
+        max_degree=1,
+        ground_truth={0: ["x == 2 * i"]},
+    )
+
+
+def test_engine_pool_disabled_matches_default():
+    """tape_pool_size=0 must not change invariants or epoch counts."""
+    outcomes = {}
+    for label, size in (("pooled", 8), ("disabled", 0)):
+        service = InvariantService(
+            InferenceConfig(max_epochs=150, tape_pool_size=size)
+        )
+        outcomes[label] = service.solve(_toy_problem())
+    assert outcomes["pooled"].solved == outcomes["disabled"].solved
+    assert (
+        outcomes["pooled"].train_epochs == outcomes["disabled"].train_epochs
+    )
+    assert (
+        outcomes["pooled"].invariant() == outcomes["disabled"].invariant()
+    )
+
+
+def test_engine_warm_start_never_spends_more_epochs():
+    """Warm solves must finish with <= the cold path's train epochs."""
+    outcomes = {}
+    for label, flag in (("cold", False), ("warm", True)):
+        service = InvariantService(
+            InferenceConfig(max_epochs=150, warm_start=flag)
+        )
+        outcomes[label] = service.solve(_toy_problem())
+    assert outcomes["warm"].solved == outcomes["cold"].solved
+    assert outcomes["warm"].train_epochs <= outcomes["cold"].train_epochs
+    assert outcomes["warm"].invariant() == outcomes["cold"].invariant()
+
+
+def test_train_epochs_flows_into_solve_result_wire_format():
+    service = InvariantService(InferenceConfig(max_epochs=150))
+    result = service.solve(_toy_problem())
+    assert result.train_epochs > 0
+    record = result.to_dict()
+    assert record["train_epochs"] == result.train_epochs
+
+
+# -- backward-segment codegen ------------------------------------------------
+
+
+def test_backward_codegen_matches_numpy():
+    """The generated per-element loop is bitwise-equal to the numpy lines."""
+    import math
+
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=12) + 3.0
+    b = rng.normal(size=12) + 3.0
+    t1 = np.empty(12)
+    t2 = np.empty(12)
+    t3 = np.empty(12)
+    lowered = [
+        (t1, "multiply", [a, b]),
+        (t2, "add", [t1, 0.5]),
+        (t3, "sqrt", [t2]),
+        (t1, "divide", [t3, b]),
+        (t2, "negative", [t1]),
+        (t3, "maximum", [t2, -0.25]),
+    ]
+    source, arrays = backend_numba.codegen_backward(lowered)
+    namespace = {"math": math}
+    exec(compile(source, "<test-segment>", "exec"), namespace)
+
+    # numpy reference on copies of the scratch buffers
+    r1 = a * b
+    r2 = r1 + 0.5
+    r3 = np.sqrt(r2)
+    r1 = r3 / b
+    r2 = -r1
+    r3 = np.maximum(r2, -0.25)
+
+    namespace["_segment"](12, *[arr.reshape(-1) for arr in arrays])
+    assert np.array_equal(t1, r1)
+    assert np.array_equal(t2, r2)
+    assert np.array_equal(t3, r3)
+
+
+@pytest.mark.parametrize("backend", ["fused", "numba"])
+def test_backward_segments_detected_in_plan(backend):
+    """Training on a compiled backend finds fusable backward runs."""
+    _skip_unless_available(backend)
+    from repro.cln import train as train_mod
+
+    model = _model(seed=2, backend=backend)
+    train_gcln(
+        model, _data(), max_epochs=5, early_stop_patience=_NO_EARLY_STOP
+    )
+    stats = train_mod.LAST_TAPE_STATS
+    assert stats is not None
+    assert stats["fused_bwd_segments"] > 0
+    if backend == "numba":
+        assert stats["jitted_bwd_segments"] > 0
