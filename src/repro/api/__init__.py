@@ -43,11 +43,14 @@ from repro.api.solver import (
     LoopReport,
     SolveResult,
     Solver,
+    SolverCapabilities,
+    SolverCapabilityError,
     SolverEntry,
     UnknownSolverError,
     available_solvers,
     get_solver,
     register_solver,
+    require_solver_supports,
     solver_entries,
     unregister_solver,
 )
@@ -79,6 +82,8 @@ __all__ = [
     "SolveResult",
     "LoopReport",
     "SolverEntry",
+    "SolverCapabilities",
+    "SolverCapabilityError",
     "UnknownSolverError",
     "RESULT_KEYS",
     "LOOP_KEYS",
@@ -86,6 +91,7 @@ __all__ = [
     "unregister_solver",
     "get_solver",
     "available_solvers",
+    "require_solver_supports",
     "solver_entries",
     # adapters
     "GCLNSolver",

@@ -24,8 +24,6 @@ from __future__ import annotations
 import time
 from typing import TYPE_CHECKING
 
-import numpy as np
-
 from repro.api.events import (
     STAGES,
     AttemptStarted,
@@ -35,7 +33,12 @@ from repro.api.events import (
     emit_check_events,
     timed_stage,
 )
-from repro.api.solver import LoopReport, SolveResult, register_solver
+from repro.api.solver import (
+    LoopReport,
+    SolveResult,
+    SolverCapabilities,
+    register_solver,
+)
 from repro.baselines import (
     PlainCLN,
     enumerative_search,
@@ -44,7 +47,7 @@ from repro.baselines import (
     train_plain_cln,
 )
 from repro.checker.result import CheckOutcome
-from repro.checker.vc import DEFAULT_CHECKER_SEED, InvariantChecker
+from repro.checker.trace import make_checker
 from repro.sampling.cache import TraceCache
 from repro.sampling.termgen import TermBasis, build_term_basis
 from repro.smt.formula import TRUE, And, Atom
@@ -93,6 +96,7 @@ def solve_result_from_inference(result) -> SolveResult:
         cache_stats=dict(result.cache_stats),
         backend=result.backend,
         train_epochs=result.train_epochs,
+        checking=result.checking,
         raw=result,
     )
 
@@ -144,8 +148,7 @@ class _BaselineSolver:
         start = time.perf_counter()
         timings = {stage: 0.0 for stage in STAGES}
         notes: list[str] = []
-        program = problem.program
-        n_loops = len(program.loops)
+        n_loops = problem.n_loops
         if n_loops == 0:
             from repro.errors import InferenceError
 
@@ -154,13 +157,7 @@ class _BaselineSolver:
         emit(AttemptStarted(problem=problem.name, solver=self.name, attempt=1))
         with timed_stage(timings, "collect"):
             dataset = collect_states(problem, config, None, cache)
-        checker = InvariantChecker(
-            program,
-            problem.effective_check_inputs,
-            externals=problem.externals,
-            rng=np.random.default_rng(DEFAULT_CHECKER_SEED),
-            trace_cache=cache,
-        )
+        checker = make_checker(problem, cache=cache)
 
         loops: list[LoopReport] = []
         all_implied = True
@@ -213,7 +210,11 @@ class _BaselineSolver:
         else:
             solved = False
             if last_sound:
-                posts = [s.cond for s in program.asserts]
+                posts = (
+                    [s.cond for s in problem.program.asserts]
+                    if problem.program_backed
+                    else []
+                )
                 with timed_stage(timings, "check"):
                     report = checker.check_invariant(
                         n_loops - 1, last_invariant, posts
@@ -240,6 +241,7 @@ class _BaselineSolver:
             notes=notes,
             stage_timings=timings,
             cache_stats=cache.stats.to_dict(),
+            checking=checker.checking,
         )
 
     # -- strategy hooks --------------------------------------------------------
@@ -398,16 +400,42 @@ def register_default_solvers() -> None:
     from repro.api.solver import _REGISTRY
 
     defaults = [
-        (GCLNSolver, "full G-CLN pipeline (gated CLN + PBQU bounds + CEGIS retries)"),
-        (GuessAndCheckSolver, "exact nullspace equality learner (NumInv core)"),
-        (OctahedralSolver, "tightest ±x ±y <= c bounds (NumInv inequality domain)"),
-        (NumInvSolver, "Guess-and-Check equalities + octahedral bounds (NumInv)"),
-        (EnumerativeSolver, "PIE-style enumerative atom search within a budget"),
-        (PlainCLNSolver, "ungated template CLN (CLN2INV), single training run"),
+        (
+            GCLNSolver,
+            "full G-CLN pipeline (gated CLN + PBQU bounds + CEGIS retries)",
+            SolverCapabilities(trace_only=True, inequalities=True, fractional=True),
+        ),
+        (
+            GuessAndCheckSolver,
+            "exact nullspace equality learner (NumInv core)",
+            SolverCapabilities(trace_only=True),
+        ),
+        (
+            OctahedralSolver,
+            "tightest ±x ±y <= c bounds (NumInv inequality domain)",
+            SolverCapabilities(trace_only=True, inequalities=True),
+        ),
+        (
+            NumInvSolver,
+            "Guess-and-Check equalities + octahedral bounds (NumInv)",
+            SolverCapabilities(trace_only=True, inequalities=True),
+        ),
+        (
+            EnumerativeSolver,
+            "PIE-style enumerative atom search within a budget",
+            SolverCapabilities(trace_only=True),
+        ),
+        (
+            PlainCLNSolver,
+            "ungated template CLN (CLN2INV), single training run",
+            SolverCapabilities(trace_only=True),
+        ),
     ]
-    for cls, description in defaults:
+    for cls, description, caps in defaults:
         if cls.name not in _REGISTRY:
-            register_solver(cls.name, cls, description=description)
+            register_solver(
+                cls.name, cls, description=description, capabilities=caps
+            )
 
 
 register_default_solvers()

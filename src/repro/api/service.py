@@ -32,7 +32,12 @@ from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence
 
 from repro.api.events import Event, EventBus, ProblemSolved
 from repro.api.memo import ResultMemo
-from repro.api.solver import SolveResult, available_solvers, get_solver
+from repro.api.solver import (
+    SolveResult,
+    available_solvers,
+    get_solver,
+    require_solver_supports,
+)
 from repro.sampling.cache import TraceCache
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -142,7 +147,11 @@ class InvariantService:
         Raises:
             UnknownSolverError: for unregistered solver names (the
                 message lists :func:`available_solvers`).
+            SolverCapabilityError: when the problem is trace-only and
+                the solver's registration does not declare trace-only
+                support.
         """
+        require_solver_supports(solver, problem)
         solver_obj = get_solver(solver)
         key: str | None = None
         if self.memo is not None:

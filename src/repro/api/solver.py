@@ -32,6 +32,37 @@ class UnknownSolverError(ReproError):
     """Raised when a solver name is not in the registry."""
 
 
+class SolverCapabilityError(ReproError):
+    """Raised when a solver cannot handle the problem it was given
+    (e.g. a trace-only problem sent to a solver that needs a program)."""
+
+
+@dataclass(frozen=True)
+class SolverCapabilities:
+    """What a registered solver supports, for dispatch and listing.
+
+    Attributes:
+        trace_only: can solve problems backed by recorded traces alone
+            (no executable program; degraded checking).  Enforced by
+            :func:`require_solver_supports` at every entry point.
+        inequalities: can learn inequality atoms (advisory — shown by
+            ``python -m repro solvers`` and ``GET /v1/solvers``).
+        fractional: participates in fractional sampling (§4.3;
+            advisory).
+    """
+
+    trace_only: bool = False
+    inequalities: bool = False
+    fractional: bool = False
+
+    def to_dict(self) -> dict[str, bool]:
+        return {
+            "trace_only": self.trace_only,
+            "inequalities": self.inequalities,
+            "fractional": self.fractional,
+        }
+
+
 @dataclass
 class LoopReport:
     """Per-loop outcome, identical in shape for every solver.
@@ -103,6 +134,10 @@ class SolveResult:
         train_epochs: total training epochs spent across attempts
             (0 for solvers that do not train; the warm-start CI smoke
             compares warm vs cold totals).
+        checking: the checker mode the solve ran under —
+            ``"symbolic+bounded"`` for program-backed problems, the
+            degraded ``"bounded-holdout"`` for trace-only problems
+            (see :mod:`repro.checker.result`).
         raw: the strategy's native result object when it has one (the
             G-CLN adapter stores its ``InferenceResult`` here); never
             serialized.
@@ -119,6 +154,7 @@ class SolveResult:
     cache_stats: dict[str, int] = field(default_factory=dict)
     backend: str = ""
     train_epochs: int = 0
+    checking: str = ""
     raw: object | None = None
 
     def invariant(self, loop_index: int = 0) -> str:
@@ -142,6 +178,7 @@ class SolveResult:
             "cache_stats": dict(self.cache_stats),
             "backend": self.backend,
             "train_epochs": self.train_epochs,
+            "checking": self.checking,
             "loops": [loop.to_dict() for loop in self.loops],
         }
 
@@ -165,6 +202,7 @@ class SolveResult:
             cache_stats=dict(data.get("cache_stats", {})),
             backend=data.get("backend", ""),
             train_epochs=int(data.get("train_epochs", 0)),
+            checking=data.get("checking", ""),
         )
 
 
@@ -181,6 +219,7 @@ RESULT_KEYS = frozenset(
         "cache_stats",
         "backend",
         "train_epochs",
+        "checking",
         "loops",
     }
 )
@@ -231,6 +270,10 @@ class SolverEntry:
     name: str
     factory: Callable[[], Solver]
     description: str = ""
+    # Conservative default: a registration that declares nothing is
+    # assumed to need an executable program (trace-only dispatch to it
+    # raises SolverCapabilityError instead of failing mid-solve).
+    capabilities: SolverCapabilities = SolverCapabilities()
 
 
 _REGISTRY: dict[str, SolverEntry] = {}
@@ -241,6 +284,7 @@ def register_solver(
     factory: Callable[[], Solver],
     *,
     description: str = "",
+    capabilities: SolverCapabilities | None = None,
     replace: bool = False,
 ) -> None:
     """Register a solver factory under ``name``.
@@ -249,13 +293,22 @@ def register_solver(
         name: registry key (what ``--solver`` accepts).
         factory: zero-argument callable returning a :class:`Solver`.
         description: one-line summary for ``python -m repro solvers``.
+        capabilities: what the solver supports; ``None`` declares
+            nothing (notably: no trace-only support).
         replace: allow overwriting an existing registration.
     """
     if not replace and name in _REGISTRY:
         raise ReproError(
             f"solver {name!r} is already registered; pass replace=True to override"
         )
-    _REGISTRY[name] = SolverEntry(name=name, factory=factory, description=description)
+    _REGISTRY[name] = SolverEntry(
+        name=name,
+        factory=factory,
+        description=description,
+        capabilities=(
+            capabilities if capabilities is not None else SolverCapabilities()
+        ),
+    )
 
 
 def unregister_solver(name: str) -> None:
@@ -287,3 +340,35 @@ def get_solver(name: str) -> Solver:
             f"unknown solver {name!r}; available solvers: {known}"
         )
     return entry.factory()
+
+
+def require_solver_supports(name: str, problem: "Problem") -> None:
+    """Fail fast when a registered solver cannot handle a problem.
+
+    Today this enforces the trace-only axis: a problem without a
+    program may only dispatch to solvers whose registration declares
+    ``trace_only`` support.  Called by every entry point — the
+    service, the batch runner, and the HTTP protocol parser — so the
+    error is a clear registry-level message instead of a mid-solve
+    crash inside the strategy.
+
+    Raises:
+        UnknownSolverError: for unregistered names.
+        SolverCapabilityError: for unsupported (solver, problem)
+            combinations, listing the solvers that would work.
+    """
+    entry = _REGISTRY.get(name)
+    if entry is None:
+        known = ", ".join(available_solvers()) or "<none>"
+        raise UnknownSolverError(
+            f"unknown solver {name!r}; available solvers: {known}"
+        )
+    if problem.source is None and not entry.capabilities.trace_only:
+        capable = ", ".join(
+            n for n in available_solvers() if _REGISTRY[n].capabilities.trace_only
+        ) or "<none>"
+        raise SolverCapabilityError(
+            f"solver {name!r} does not support trace-only problems "
+            f"(problem {problem.name!r} has no program source); "
+            f"trace-capable solvers: {capable}"
+        )

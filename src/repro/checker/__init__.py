@@ -11,15 +11,25 @@ counterexample extraction for everything else (sound up to sampling;
 counterexamples feed the paper's CEGIS retraining loop).
 """
 
-from repro.checker.result import CheckOutcome, CheckReport
+from repro.checker.result import (
+    CHECKING_FULL,
+    CHECKING_RECORDED,
+    CheckOutcome,
+    CheckReport,
+)
 from repro.checker.symbolic import equality_inductive_symbolic
 from repro.checker.bounded import BoundedChecker
 from repro.checker.vc import InvariantChecker
+from repro.checker.trace import RecordedChecker, make_checker
 
 __all__ = [
+    "CHECKING_FULL",
+    "CHECKING_RECORDED",
     "CheckOutcome",
     "CheckReport",
     "equality_inductive_symbolic",
     "BoundedChecker",
     "InvariantChecker",
+    "RecordedChecker",
+    "make_checker",
 ]

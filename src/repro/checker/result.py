@@ -6,6 +6,14 @@ import enum
 from dataclasses import dataclass, field
 
 
+# Checking modes, reported in SolveResult.checking: the full hybrid
+# checker (symbolic equality inductiveness + bounded sampling against
+# fresh interpreter runs) vs the degraded trace-only mode (validation
+# against held-out recorded states; no program to perturb or step).
+CHECKING_FULL = "symbolic+bounded"
+CHECKING_RECORDED = "bounded-holdout"
+
+
 class CheckOutcome(enum.Enum):
     """Verdict for one verification condition or a whole check."""
 

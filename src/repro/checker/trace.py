@@ -1,0 +1,198 @@
+"""Degraded checking for trace-only problems: held-out recorded states.
+
+Without a program there is nothing to perturb, step, or check
+symbolically — the three-VC machinery of :mod:`repro.checker.vc`
+cannot run.  What *can* run is the reachability half of the bounded
+checker: every candidate must hold on every held-out recorded state
+(the ``check`` sequences of the recording, which play the role of the
+wider checking input space).  :class:`RecordedChecker` implements
+exactly that, duck-typing the :class:`~repro.checker.vc.
+InvariantChecker` surface the engine and the baseline adapters use,
+and reports itself as the degraded ``bounded-holdout`` mode so
+``SolveResult.checking`` makes the downgrade visible.
+
+:func:`make_checker` is the one place that picks between the two —
+every solver builds its checker through it, so a problem's
+program-backed/trace-only nature never leaks into solver code.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+import numpy as np
+
+from repro.checker.result import (
+    CHECKING_RECORDED,
+    CheckOutcome,
+    CheckReport,
+)
+from repro.checker.vc import (
+    DEFAULT_CHECKER_SEED,
+    AtomFilterResult,
+    InvariantChecker,
+)
+from repro.sampling.source import Observation, RecordedTraceSource
+from repro.sampling.termgen import ExternalTerm, extend_state
+from repro.smt.formula import Atom, Formula
+from repro.smt.simplify import simplify
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.infer.problem import Problem
+    from repro.sampling.cache import TraceCache
+
+# Mirror of the bounded checker's reachability cap: stop after this
+# many recorded states have been validated.
+_MAX_CHECKED_STATES = 50_000
+
+
+class RecordedChecker:
+    """Reachability-only checking against held-out recorded states.
+
+    The checking states are the recording's ``check`` sequences (train
+    reused when absent) — the same states the full checker would read
+    off its checking traces, so for a recording of a program-backed
+    problem the reachability phase is state-for-state identical.
+    Inductiveness and postcondition VCs are not checkable without a
+    program; :meth:`check_invariant` degrades them to the recorded
+    evidence and says so in the report notes.
+    """
+
+    checking = CHECKING_RECORDED
+
+    def __init__(
+        self,
+        source: RecordedTraceSource,
+        externals: Sequence[ExternalTerm] = (),
+        memoize: bool = True,
+    ):
+        self.source = source
+        self.externals = list(externals)
+        self.memoize = memoize
+        self._reach_memo: dict[tuple[int, str], CheckOutcome] = {}
+        # Observability: same counter the full checker exposes.
+        self.memo_hits = 0
+
+    # -- helpers ---------------------------------------------------------
+
+    def _evaluate(self, formula: Formula, state: Mapping[str, object]) -> bool:
+        extended = extend_state(state, self.externals) if self.externals else state
+        exact = {}
+        for key, value in extended.items():
+            if isinstance(value, bool):
+                continue
+            exact[key] = Fraction(value)
+        return formula.evaluate(exact)
+
+    def _holds_on_recorded(
+        self, formula: Formula, observations: Sequence[Observation]
+    ) -> tuple[CheckOutcome, dict | None]:
+        checked = 0
+        for ob in observations:
+            if not self._evaluate(formula, ob.state):
+                return CheckOutcome.INVALID, dict(ob.state)
+            checked += 1
+            if checked >= _MAX_CHECKED_STATES:
+                return CheckOutcome.VALID, None
+        if checked == 0:
+            return CheckOutcome.UNKNOWN, None
+        return CheckOutcome.VALID, None
+
+    # -- checker surface -------------------------------------------------
+
+    def filter_sound_atoms(
+        self, loop_index: int, atoms: Sequence[Atom]
+    ) -> AtomFilterResult:
+        """Atoms that hold on every held-out recorded state.
+
+        The rejection reason matches the full checker's reachability
+        phase — recorded states *are* reachable states — so a recording
+        of a program-backed problem reproduces its rejection records.
+        """
+        result = AtomFilterResult()
+        observations = self.source.check_observations(loop_index)
+        for atom in atoms:
+            memo_key = (loop_index, str(atom))
+            if self.memoize and memo_key in self._reach_memo:
+                outcome, cex = self._reach_memo[memo_key], None
+                self.memo_hits += 1
+            else:
+                outcome, cex = self._holds_on_recorded(atom, observations)
+                if self.memoize:
+                    self._reach_memo[memo_key] = outcome
+            if outcome is CheckOutcome.INVALID:
+                result.rejected.append((atom, "fails on reachable state"))
+                if cex:
+                    result.counterexamples.append(cex)
+            else:
+                result.sound.append(atom)
+        return result
+
+    def check_invariant(
+        self,
+        loop_index: int,
+        invariant: Formula,
+        post_exprs: Sequence = (),
+    ) -> CheckReport:
+        """Degraded full check: recorded evidence only.
+
+        Inductiveness follows the reachability verdict (an invariant
+        holding on every recorded state holds across every recorded
+        transition; nothing beyond the recording can be stepped), and
+        postconditions are unobservable without a program's asserts.
+        """
+        invariant = simplify(invariant)
+        report = CheckReport(outcome=CheckOutcome.UNKNOWN)
+        outcome, cex = self._holds_on_recorded(
+            invariant, self.source.check_observations(loop_index)
+        )
+        report.precondition = outcome
+        if outcome is CheckOutcome.INVALID and cex:
+            report.counterexamples.append(cex)
+            report.notes.append(f"invariant fails at recorded state {cex}")
+        report.inductive = outcome
+        report.postcondition = (
+            CheckOutcome.UNKNOWN if post_exprs else CheckOutcome.VALID
+        )
+        report.notes.append(
+            "trace-only problem: checked against held-out recorded states "
+            "(no symbolic/perturbation inductiveness)"
+        )
+        verdicts = (report.precondition, report.inductive, report.postcondition)
+        if any(v is CheckOutcome.INVALID for v in verdicts):
+            report.outcome = CheckOutcome.INVALID
+        elif all(v is CheckOutcome.VALID for v in verdicts):
+            report.outcome = CheckOutcome.VALID
+        else:
+            report.outcome = CheckOutcome.UNKNOWN
+        return report
+
+
+def make_checker(
+    problem: "Problem",
+    cache: "TraceCache | None" = None,
+    memoize: bool = True,
+) -> InvariantChecker | RecordedChecker:
+    """The right checker for a problem's observation source.
+
+    Program-backed problems get the full hybrid
+    :class:`~repro.checker.vc.InvariantChecker`; trace-only problems
+    degrade to :class:`RecordedChecker`.  Every solver adapter builds
+    its checker here, so the two modes stay behaviorally aligned (same
+    seed, same externals handling) across strategies.
+    """
+    if problem.program_backed:
+        return InvariantChecker(
+            problem.program,
+            problem.effective_check_inputs,
+            externals=problem.externals,
+            rng=np.random.default_rng(DEFAULT_CHECKER_SEED),
+            trace_cache=cache,
+            memoize=memoize,
+        )
+    source = problem.observations()
+    assert isinstance(source, RecordedTraceSource)
+    return RecordedChecker(
+        source, externals=problem.externals, memoize=memoize
+    )

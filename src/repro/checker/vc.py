@@ -31,7 +31,7 @@ from repro.sampling.termgen import ExternalTerm
 from repro.smt.formula import And, Atom, Formula
 from repro.smt.simplify import simplify
 from repro.checker.bounded import BoundedChecker
-from repro.checker.result import CheckOutcome, CheckReport
+from repro.checker.result import CHECKING_FULL, CheckOutcome, CheckReport
 from repro.checker.symbolic import equality_inductive_symbolic
 
 
@@ -52,6 +52,11 @@ class AtomFilterResult:
 
 class InvariantChecker:
     """Checks candidate invariants for one program."""
+
+    # The checking mode this checker realizes, reported through
+    # ``SolveResult.checking`` (trace-only problems degrade to the
+    # ``bounded-holdout`` mode of repro.checker.trace).
+    checking = CHECKING_FULL
 
     def __init__(
         self,

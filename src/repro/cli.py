@@ -10,11 +10,20 @@ Commands:
   one of the 27 NLA benchmark problems and print the learned
   invariants (``--json PATH`` additionally writes the structured
   result; ``--events`` streams lifecycle events as they happen).
+  ``run --traces FILE`` solves a *trace-only* problem instead: FILE is
+  a recorded-problem JSON (``python -m repro record``), a bare trace
+  payload, or a CSV of loop-head states — no program involved.
 * ``run-all [--solver NAME]`` — run a whole suite (``nla``,
   ``code2inv``, or ``stability``) through the service's batch path,
   with ``--jobs N`` worker processes, per-problem ``--timeout``, and
   ``--json`` output.  Records share one schema across solvers, so two
   runs with different ``--solver`` values are directly comparable.
+  ``--traces FILE [FILE ...]`` batches recorded trace files instead of
+  a suite.
+* ``record <nla-problem> --json PATH`` — run the interpreter once and
+  write the problem's train/check observations as a trace-only
+  recording; re-solving the recording produces identical invariants
+  (the ObservationSource seed-equivalence contract).
 * ``profile <nla-problem>`` — run one solver and render the per-stage
   wall-clock breakdown (collect/train/extract/check) as a table, so hot
   paths are visible without reading JSON; also prints the resolved
@@ -31,7 +40,8 @@ Commands:
   solves in-process on a thread pool; ``--queue-dir PATH`` enqueues
   onto the distributed work queue instead and lets a ``worker`` fleet
   solve.
-* ``solvers`` — list the registered solvers.
+* ``solvers`` — list the registered solvers with their capability
+  flags (trace-only / inequalities / fractional).
 * ``list`` — list the available benchmark problems with metadata.
 * ``trace <nla-problem> --inputs k=5`` — execute a benchmark program on
   one input assignment and dump the loop-head trace.
@@ -103,8 +113,80 @@ def _print_event(event) -> None:
 
 
 def _cmd_solvers(_args: argparse.Namespace) -> int:
-    rows = [[entry.name, entry.description] for entry in solver_entries()]
-    print(format_table(["solver", "strategy"], rows, title="registered solvers"))
+    def flag(value: bool) -> str:
+        return "yes" if value else "no"
+
+    rows = [
+        [
+            entry.name,
+            flag(entry.capabilities.trace_only),
+            flag(entry.capabilities.inequalities),
+            flag(entry.capabilities.fractional),
+            entry.description,
+        ]
+        for entry in solver_entries()
+    ]
+    print(
+        format_table(
+            ["solver", "trace-only", "inequalities", "fractional", "strategy"],
+            rows,
+            title="registered solvers",
+        )
+    )
+    return 0
+
+
+def _load_trace_problem(path: str):
+    """A trace-only :class:`Problem` from a recording file.
+
+    Accepts a full recorded-problem JSON (``python -m repro record``
+    output / :func:`~repro.dist.wire.problem_to_dict`), a bare trace
+    payload (``{"0": {"train": [...]}}``), or a ``.csv`` of loop-head
+    states; bare payloads take the problem name from the file stem.
+    """
+    from pathlib import Path
+
+    from repro.dist.wire import problem_from_dict
+    from repro.infer.problem import Problem
+    from repro.sampling.source import traces_from_csv, traces_from_payload
+
+    file = Path(path)
+    try:
+        text = file.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise SystemExit(f"cannot read traces file {path!r}: {exc}") from exc
+    try:
+        if file.suffix.lower() == ".csv":
+            return Problem(name=file.stem, traces=traces_from_csv(text.splitlines()))
+        data = json.loads(text)
+        if isinstance(data, dict) and "name" in data:
+            return problem_from_dict(data)
+        return Problem(name=file.stem, traces=traces_from_payload(data))
+    except (ReproError, ValueError, KeyError, TypeError) as exc:
+        raise SystemExit(f"bad traces file {path!r}: {exc}") from exc
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    from repro.dist.wire import problem_to_dict
+    from repro.infer.record import record_problem
+
+    problem = nla_problem(args.problem)
+    try:
+        recorded = record_problem(problem)
+    except ReproError as exc:
+        raise SystemExit(str(exc)) from exc
+    _write_json(args.json, problem_to_dict(recorded))
+    if args.json != "-":
+        assert recorded.traces is not None
+        counts = ", ".join(
+            f"loop {i}: {len(t.train)} train / "
+            f"{len(t.check or [])} check"
+            for i, t in sorted(recorded.traces.items())
+        )
+        print(f"recorded {problem.name} -> {args.json} ({counts})")
+        print(
+            f"re-solve: python -m repro run --traces {args.json}"
+        )
     return 0
 
 
@@ -184,7 +266,16 @@ def _last_tape_stats() -> dict | None:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    problem = nla_problem(args.problem)
+    if args.traces is not None:
+        if args.problem is not None:
+            raise SystemExit(
+                "give a problem name OR --traces FILE, not both"
+            )
+        problem = _load_trace_problem(args.traces)
+    elif args.problem is not None:
+        problem = nla_problem(args.problem)
+    else:
+        raise SystemExit("run needs a problem name or --traces FILE")
     service = InvariantService(
         InferenceConfig(
             max_epochs=args.epochs,
@@ -202,6 +293,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         raise SystemExit(str(exc)) from exc
     print(f"problem:  {problem.name}")
     print(f"solver:   {result.solver}")
+    if result.checking:
+        print(f"checking: {result.checking}")
     if result.backend:
         print(f"backend:  {result.backend}")
     print(f"solved:   {result.solved} "
@@ -246,10 +339,20 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
             "--workers/--queue-dir and --jobs are mutually exclusive: the "
             "distributed runner spawns its own worker processes"
         )
-    try:
-        problems = suite_problems(args.suite, args.problems or None)
-    except ReproError as exc:
-        raise SystemExit(str(exc)) from exc
+    if args.traces:
+        if args.problems:
+            raise SystemExit(
+                "--traces and --problems are mutually exclusive (trace "
+                "files already name their problems)"
+            )
+        problems = [_load_trace_problem(path) for path in args.traces]
+        suite_label = "recorded traces"
+    else:
+        try:
+            problems = suite_problems(args.suite, args.problems or None)
+        except ReproError as exc:
+            raise SystemExit(str(exc)) from exc
+        suite_label = args.suite
     if not problems:
         raise SystemExit(f"no problems selected from suite {args.suite!r}")
     service = InvariantService(
@@ -324,7 +427,7 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
             ["problem", "status", "solved", "attempts", "time"],
             rows,
             title=(
-                f"run-all — suite {args.suite}, solver {args.solver}, "
+                f"run-all — suite {suite_label}, solver {args.solver}, "
                 + (
                     f"{args.workers} worker(s)"
                     if distributed
@@ -337,7 +440,7 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
         _write_json(
             args.json,
             {
-                "suite": args.suite,
+                "suite": suite_label,
                 "solver": args.solver,
                 "jobs": args.jobs,
                 "cross_batch": args.cross_batch,
@@ -513,7 +616,21 @@ def build_parser() -> argparse.ArgumentParser:
     ).set_defaults(func=_cmd_solvers)
 
     run_parser = sub.add_parser("run", help="infer invariants for a problem")
-    run_parser.add_argument("problem", help="NLA problem name (see 'list')")
+    run_parser.add_argument(
+        "problem",
+        nargs="?",
+        default=None,
+        help="NLA problem name (see 'list'); omit with --traces",
+    )
+    run_parser.add_argument(
+        "--traces",
+        metavar="FILE",
+        help=(
+            "solve a trace-only problem from a recording (JSON from "
+            "'record', a bare trace payload, or a CSV of loop-head "
+            "states) instead of a benchmark program"
+        ),
+    )
     run_parser.add_argument(
         "--solver",
         default="gcln",
@@ -582,6 +699,15 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         metavar="NAME",
         help="restrict to these problem names",
+    )
+    all_parser.add_argument(
+        "--traces",
+        nargs="+",
+        metavar="FILE",
+        help=(
+            "batch recorded trace files (see 'record') instead of a "
+            "benchmark suite"
+        ),
     )
     all_parser.add_argument(
         "--jobs", type=int, default=1, help="worker processes (process pool)"
@@ -777,6 +903,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="global concurrent-solve cap (<= 0 disables; default: 8)",
     )
     serve_parser.set_defaults(func=_cmd_serve)
+
+    record_parser = sub.add_parser(
+        "record",
+        help="record a problem's train/check observations for trace-first solving",
+    )
+    record_parser.add_argument("problem", help="NLA problem name (see 'list')")
+    record_parser.add_argument(
+        "--json",
+        default="-",
+        metavar="PATH",
+        help=(
+            "where to write the trace-only recording ('-' for stdout; "
+            "default: stdout)"
+        ),
+    )
+    record_parser.set_defaults(func=_cmd_record)
 
     trace_parser = sub.add_parser("trace", help="dump one execution trace")
     trace_parser.add_argument("problem")

@@ -16,7 +16,9 @@ travel as plain JSON.  Two problem encodings exist:
 ``Fraction`` input values are encoded as ``"num/den"`` strings (the
 same convention the CLI's ``--inputs`` parser uses); JSON object keys
 are strings, so integer-keyed maps (``variables``, ``ground_truth``)
-are re-keyed on decode.
+are re-keyed on decode.  Trace-only problems inline their recorded
+observations via :func:`repro.sampling.source.traces_to_payload`, so a
+worker can solve them without any program or shared registry.
 """
 
 from __future__ import annotations
@@ -28,6 +30,7 @@ from typing import Any
 from repro.errors import ReproError
 from repro.infer.config import InferenceConfig
 from repro.infer.problem import Problem
+from repro.sampling.source import traces_from_payload, traces_to_payload
 from repro.sampling.termgen import ExternalTerm
 
 
@@ -82,6 +85,11 @@ def problem_to_dict(problem: Problem) -> dict:
             str(k): list(v) for k, v in problem.ground_truth.items()
         },
         "max_states": problem.max_states,
+        "traces": (
+            traces_to_payload(problem.traces)
+            if problem.traces is not None
+            else None
+        ),
     }
 
 
@@ -89,8 +97,8 @@ def problem_from_dict(data: dict) -> Problem:
     """Rebuild a :class:`Problem` from :func:`problem_to_dict` output."""
     return Problem(
         name=data["name"],
-        source=data["source"],
-        train_inputs=_decode_inputs(data["train_inputs"]),
+        source=data.get("source"),
+        train_inputs=_decode_inputs(data.get("train_inputs", [])),
         check_inputs=_decode_inputs(data.get("check_inputs", [])),
         max_degree=data.get("max_degree", 2),
         variables=(
@@ -113,6 +121,11 @@ def problem_from_dict(data: dict) -> Problem:
             int(k): list(v) for k, v in data.get("ground_truth", {}).items()
         },
         max_states=data.get("max_states", 100),
+        traces=(
+            traces_from_payload(data["traces"])
+            if data.get("traces") is not None
+            else None
+        ),
     )
 
 

@@ -34,6 +34,7 @@ kept as a deprecated shim that delegates to the service.
 
 from repro.infer.problem import Problem, parse_ground_truth
 from repro.infer.config import InferenceConfig
+from repro.infer.record import record_observations, record_problem
 from repro.infer.schedule import AttemptPlan, AttemptScheduler, build_schedule
 from repro.infer.pipeline import (
     InferenceEngine,
@@ -47,6 +48,8 @@ __all__ = [
     "Problem",
     "parse_ground_truth",
     "InferenceConfig",
+    "record_observations",
+    "record_problem",
     "AttemptPlan",
     "AttemptScheduler",
     "build_schedule",

@@ -35,8 +35,8 @@ from repro.api.events import (
 )
 from repro.autodiff.backend import resolve_backend_name
 from repro.autodiff.tape import TapePool
-from repro.checker.vc import DEFAULT_CHECKER_SEED, InvariantChecker
 from repro.checker.result import CheckOutcome
+from repro.checker.trace import make_checker
 from repro.cln.bounds import BoundBank, enumerate_bound_masks, extract_bound_atoms, train_bound_bank
 from repro.cln.extract import extract_equalities
 from repro.cln.model import GCLN, complexity_term_weights
@@ -154,6 +154,10 @@ class InferenceResult:
     # (deterministic for a given config; the warm-start CI smoke
     # compares it between warm and cold runs).
     train_epochs: int = 0
+    # Checker mode the run used: "symbolic+bounded" (program-backed)
+    # or the degraded "bounded-holdout" (trace-only problems; see
+    # repro.checker.result).
+    checking: str = ""
 
     def invariant(self, loop_index: int = 0) -> Formula:
         for loop in self.loops:
@@ -172,6 +176,7 @@ class InferenceResult:
             "cache_stats": dict(self.cache_stats),
             "backend": self.backend,
             "train_epochs": self.train_epochs,
+            "checking": self.checking,
             "stage_timings": {
                 s: float(self.stage_timings.get(s, 0.0)) for s in STAGES
             },
@@ -212,12 +217,11 @@ class InferenceEngine:
         # tape instead of re-recording and re-compiling (bitwise
         # transparent; see repro.cln.train).
         self.tape_pool = TapePool(self.config.tape_pool_size)
-        self._checker = InvariantChecker(
-            problem.program,
-            problem.effective_check_inputs,
-            externals=problem.externals,
-            rng=np.random.default_rng(DEFAULT_CHECKER_SEED),
-            trace_cache=self.cache,
+        # Program-backed problems get the full hybrid checker;
+        # trace-only problems degrade to held-out recorded states.
+        self._checker = make_checker(
+            problem,
+            cache=self.cache,
             memoize=self.config.checker_memoization,
         )
 
@@ -254,16 +258,16 @@ class InferenceEngine:
         """
         problem = self.problem
         config = self.config
-        program = problem.program
         start = time.perf_counter()
         result = InferenceResult(
             problem_name=problem.name,
             solved=False,
             backend=resolve_backend_name(config.backend),
+            checking=self._checker.checking,
         )
         totals = {stage: 0.0 for stage in STAGES}
 
-        n_loops = len(program.loops)
+        n_loops = problem.n_loops
         if n_loops == 0:
             raise InferenceError(f"problem {problem.name!r} has no loops")
 
@@ -481,8 +485,13 @@ class InferenceEngine:
                 solved = True
             elif not any(problem.ground_truth.values()):
                 # No ground truth: stop when the checker validates the
-                # conjunction (and something was learned).
-                posts = [s.cond for s in program.asserts]
+                # conjunction (and something was learned).  Trace-only
+                # problems have no asserts to check against.
+                posts = (
+                    [s.cond for s in problem.program.asserts]
+                    if problem.program_backed
+                    else []
+                )
                 with timed_stage(timings, "check"):
                     report = self._checker.check_invariant(
                         n_loops - 1, result.loops[-1].invariant, posts

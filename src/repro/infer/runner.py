@@ -45,7 +45,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
-from repro.api.solver import SolveResult, get_solver
+from repro.api.solver import SolveResult, get_solver, require_solver_supports
 from repro.infer.config import InferenceConfig
 from repro.infer.problem import Problem
 from repro.sampling.cache import TraceCache
@@ -131,6 +131,7 @@ def _solve_via_registry(
     cache: TraceCache | None = None,
 ) -> SolveResult:
     """Default solve step: instantiate the named solver and run it."""
+    require_solver_supports(solver, problem)
     return get_solver(solver).solve(problem, config=config, cache=cache)
 
 

@@ -21,7 +21,7 @@ from repro.cln.extract import make_exact_validator
 from repro.infer.config import InferenceConfig
 from repro.infer.problem import Problem
 from repro.poly.polynomial import Polynomial
-from repro.sampling.cache import TraceCache, fingerprint_inputs, fingerprint_program
+from repro.sampling.cache import TraceCache
 from repro.sampling.filters import duplicate_column_map, growth_rate_filter
 from repro.sampling.fractional import (
     FRACTIONAL_SUFFIX,
@@ -86,19 +86,22 @@ def collect_states(
 ) -> StateDataset:
     """Training states per loop, optionally with fractional sampling.
 
-    Memoized: repeated attempts with the same (program, inputs,
-    interval) return the cached dataset without re-interpreting the
-    program.
+    Memoized: repeated attempts with the same (source, interval) return
+    the cached dataset without re-interpreting the program (or
+    re-assembling the recording).  The source *kind* is part of the
+    key, so a trace-only problem can never hit the cached states of a
+    same-named (or even fingerprint-colliding) program problem.
     """
-    program = problem.program
+    source = problem.observations()
     use_fractional = (
         problem.fractional
         and config.fractional_sampling
         and fractional_interval is not None
+        and source.kind == "program"  # relaxation needs a program
     )
     key_parts = (
-        fingerprint_program(program),
-        fingerprint_inputs(problem.train_inputs),
+        source.kind,
+        source.fingerprint(),
         fractional_interval if use_fractional else None,
         problem.max_states,
         tuple(problem.fractional_vars or ()) if use_fractional else (),
@@ -106,14 +109,10 @@ def collect_states(
     dataset_key = repr(key_parts)
 
     def compute() -> StateDataset:
-        traces = cache.traces(program, problem.train_inputs)
-        states: dict[int, list[dict]] = {}
-        for loop_index in range(len(program.loops)):
-            states[loop_index] = loop_dataset(
-                traces, loop_index, max_states=problem.max_states
-            )
+        states = source.train_states(problem.max_states, cache)
         fractional_vars: tuple[str, ...] = ()
         if use_fractional:
+            program = problem.program
             relaxed, relaxed_vars = relax_initializers(
                 program, problem.fractional_vars
             )

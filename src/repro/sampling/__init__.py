@@ -12,8 +12,23 @@ the :class:`~repro.sampling.cache.TraceCache` memo that the inference
 runtime layers on top, so retries, the checker, and batch reruns share
 one trace collection and one term-matrix evaluation per distinct
 (program fingerprint, inputs, fractional interval) key.
+
+The ``source`` module abstracts *where states come from*: the
+:class:`~repro.sampling.source.ObservationSource` protocol with an
+interpreter-backed implementation (today's path) and a recorded-trace
+implementation (trace-first solving, no program required).
 """
 
+from repro.sampling.source import (
+    InterpreterSource,
+    LoopTrace,
+    Observation,
+    ObservationSource,
+    RecordedTraceSource,
+    traces_from_csv,
+    traces_from_payload,
+    traces_to_payload,
+)
 from repro.sampling.tracegen import collect_traces, loop_dataset, enumerate_inputs
 from repro.sampling.termgen import (
     TermBasis,
@@ -31,6 +46,14 @@ from repro.sampling.fractional import relax_initializers, fractional_inputs
 from repro.sampling.cache import CacheStats, TraceCache
 
 __all__ = [
+    "Observation",
+    "LoopTrace",
+    "ObservationSource",
+    "InterpreterSource",
+    "RecordedTraceSource",
+    "traces_to_payload",
+    "traces_from_payload",
+    "traces_from_csv",
     "collect_traces",
     "loop_dataset",
     "enumerate_inputs",

@@ -81,7 +81,9 @@ class CacheStats:
 # Bump when cached value layouts change; baked into every disk key so
 # stale spills from older code are ignored rather than unpickled.
 # v2: Monomial no longer serializes its cached (per-process) hash.
-_DISK_FORMAT_VERSION = 2
+# v3: state-dataset keys carry the observation-source kind (trace-only
+#     vs program-backed problems must never share entries).
+_DISK_FORMAT_VERSION = 3
 
 
 class TraceCache:

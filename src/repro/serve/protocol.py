@@ -38,7 +38,13 @@ import json
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.api.solver import UnknownSolverError, get_solver, solver_entries
+from repro.api.solver import (
+    SolverCapabilityError,
+    UnknownSolverError,
+    get_solver,
+    require_solver_supports,
+    solver_entries,
+)
 from repro.dist.wire import config_from_dict, problem_from_dict
 from repro.errors import ReproError
 
@@ -74,8 +80,9 @@ def parse_solve_request(body: bytes) -> SolveRequest:
     """Parse and validate a solve request body.
 
     Raises:
-        ProtocolError: on malformed JSON, an unknown problem/solver,
-            or a body that is neither encoding.
+        ProtocolError: on malformed JSON, an unknown problem/solver, a
+            body that is neither encoding, or a trace-only problem sent
+            to a solver without trace-only support.
     """
     try:
         data = json.loads(body or b"null")
@@ -128,6 +135,10 @@ def parse_solve_request(body: bytes) -> SolveRequest:
             problem = problem_from_dict(spec)
         except (ReproError, TypeError, ValueError, KeyError) as exc:
             raise ProtocolError(f"bad inline problem: {exc}") from exc
+        try:
+            require_solver_supports(solver, problem)
+        except SolverCapabilityError as exc:
+            raise ProtocolError(str(exc)) from exc
         return SolveRequest(problem=problem, solver=solver, config=config)
 
     raise ProtocolError(
@@ -172,7 +183,11 @@ def solvers_response() -> dict:
     """Payload for ``GET /v1/solvers``."""
     return {
         "solvers": [
-            {"name": entry.name, "description": entry.description}
+            {
+                "name": entry.name,
+                "description": entry.description,
+                "capabilities": entry.capabilities.to_dict(),
+            }
             for entry in solver_entries()
         ]
     }

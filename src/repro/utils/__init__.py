@@ -8,6 +8,7 @@ from repro.utils.rational import (
 from repro.utils.fingerprint import (
     fingerprint_inputs,
     fingerprint_program,
+    fingerprint_traces,
     problem_fingerprint,
 )
 from repro.utils.timing import Stopwatch
@@ -19,6 +20,7 @@ __all__ = [
     "nice_coefficients",
     "fingerprint_inputs",
     "fingerprint_program",
+    "fingerprint_traces",
     "problem_fingerprint",
     "Stopwatch",
     "format_table",

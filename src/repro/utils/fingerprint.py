@@ -27,6 +27,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.infer.config import InferenceConfig
     from repro.infer.problem import Problem
     from repro.lang.ast import Program
+    from repro.sampling.source import LoopTrace
 
 
 def fingerprint_program(program: "Program") -> str:
@@ -49,6 +50,39 @@ def fingerprint_inputs(inputs: Iterable[Mapping[str, object]]) -> str:
             hasher.update(repr(value).encode())
             hasher.update(b";")
         hasher.update(b"|")
+    return hasher.hexdigest()
+
+
+def fingerprint_traces(traces: Mapping[int, "LoopTrace"]) -> str:
+    """Stable digest of a recorded-trace payload.
+
+    States are serialized with sorted keys and canonical value reprs,
+    so two structurally identical recordings — built in different
+    processes, loaded from JSON or CSV, or with differently-ordered
+    state dicts — share a fingerprint.  Train and check sequences hash
+    under distinct section markers (a state moved between them changes
+    the digest), and a ``check=None`` (reuse train) hashes differently
+    from an explicit copy of the train states.
+    """
+    hasher = hashlib.sha1()
+
+    def _feed(observations) -> None:
+        for ob in observations:
+            for name, value in sorted(ob.state.items()):
+                hasher.update(name.encode())
+                hasher.update(b"=")
+                hasher.update(repr(value).encode())
+                hasher.update(b";")
+            hasher.update(b"g" if ob.guard else b"G")
+            hasher.update(b"|")
+
+    for loop_index in sorted(traces):
+        trace = traces[loop_index]
+        hasher.update(f"loop:{loop_index}/train:".encode())
+        _feed(trace.train)
+        if trace.check is not None:
+            hasher.update(f"loop:{loop_index}/check:".encode())
+            _feed(trace.check)
     return hasher.hexdigest()
 
 
@@ -76,9 +110,14 @@ def problem_fingerprint(
     from repro.infer.config import InferenceConfig
 
     payload = problem_to_dict(problem)
-    # Key the program by structure, not by source bytes: comments and
-    # whitespace must not defeat dedup.
-    payload["source"] = fingerprint_program(problem.program)
+    if problem.source is not None:
+        # Key the program by structure, not by source bytes: comments
+        # and whitespace must not defeat dedup.
+        payload["source"] = fingerprint_program(problem.program)
+    if problem.traces is not None:
+        # Trace payloads can be large; key them by their canonical
+        # digest (sorted-key state serialization) instead of inlining.
+        payload["traces"] = fingerprint_traces(problem.traces)
     if config is None:
         config = InferenceConfig()
     blob = json.dumps(

@@ -353,6 +353,7 @@ def test_shim_survives_replaced_gcln_registration():
             "gcln",
             original.factory,
             description=original.description,
+            capabilities=original.capabilities,
             replace=True,
         )
 
