@@ -10,7 +10,8 @@ Environment knobs:
 * ``REPRO_BENCH_JOBS=N`` — fan suite benchmarks out over a process
   pool on this host.
 * ``REPRO_BENCH_WORKERS=N`` — fan suite benchmarks out over the
-  distributed queue runner instead (N local workers; overrides
+  distributed queue runner instead (N local workers, or ``auto`` for
+  an elastic fleet sized to queue depth; overrides
   ``REPRO_BENCH_JOBS``).  With ``REPRO_BENCH_QUEUE_DIR=PATH`` the
   queues are durable, so an interrupted ``REPRO_BENCH_FULL`` run
   resumes instead of starting over.
@@ -34,8 +35,9 @@ def batch_kwargs(label: str) -> dict:
     the gcln and numinv columns of Table 2) apart: item ids embed only
     the problem index, so two passes must never share one queue.
     """
-    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
-    if workers > 1:
+    raw = os.environ.get("REPRO_BENCH_WORKERS", "1")
+    workers: "int | str" = raw if raw == "auto" else int(raw)
+    if workers == "auto" or workers > 1:
         kwargs: dict = {"workers": workers}
         queue_base = os.environ.get("REPRO_BENCH_QUEUE_DIR", "")
         if queue_base:

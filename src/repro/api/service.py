@@ -198,8 +198,11 @@ class InvariantService:
         timeout_seconds: float | None = None,
         progress: Callable[["ProblemRecord"], None] | None = None,
         cross_batch: int = 1,
-        workers: int = 1,
+        workers: "int | str" = 1,
         queue_dir: str | None = None,
+        min_workers: int = 1,
+        max_workers: int | None = None,
+        fleet_status: Callable[[dict], None] | None = None,
     ) -> list["ProblemRecord"]:
         """Batch-solve a suite through the runner, one record per problem.
 
@@ -225,14 +228,21 @@ class InvariantService:
         suite out over the distributed runner (:mod:`repro.dist`):
         local worker processes drain a journaled work queue, each
         running its own service over the same on-disk cache spill as
-        this one (when this service has a ``cache_dir``).  With a
-        durable ``queue_dir`` a re-run resumes: journaled problems are
-        not re-solved.  Mutually exclusive with ``jobs``.
+        this one (when this service has a ``cache_dir``).
+        ``workers="auto"`` makes the fleet elastic (sized to queue
+        depth between ``min_workers`` and ``max_workers``), and
+        ``fleet_status`` receives live fleet/health snapshots.  With a
+        durable ``queue_dir`` (or a queue-server URL) a re-run
+        resumes: journaled problems are not re-solved.  Mutually
+        exclusive with ``jobs``.
         """
         from repro.infer.runner import STATUS_OK, run_many
 
         get_solver(solver)  # fail fast on unknown names, before any work
-        distributed = workers > 1 or queue_dir is not None
+        distributed = (
+            workers == "auto" or queue_dir is not None
+            or (isinstance(workers, int) and workers > 1)
+        )
         inline = jobs == 1 and cross_batch <= 1 and not distributed
 
         def on_record(record: "ProblemRecord") -> None:
@@ -280,6 +290,9 @@ class InvariantService:
             ),
             workers=workers,
             queue_dir=queue_dir,
+            min_workers=min_workers,
+            max_workers=max_workers,
+            fleet_status=fleet_status,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

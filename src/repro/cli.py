@@ -32,9 +32,17 @@ Commands:
 * ``enqueue --queue-dir PATH`` — enqueue a suite on a journaled work
   queue (items already journaled are skipped, so re-enqueueing a
   half-finished run is a no-op for the finished part).
-* ``worker --queue-dir PATH`` — drain a work queue: claim, solve, ack,
-  until nothing is pending or claimed.  Run any number of these (on
-  any host sharing the directory) against one queue.
+* ``worker --queue-dir PATH | --queue-url URL`` — drain a work queue:
+  claim, solve, ack, until nothing is pending or claimed.  Run any
+  number of these against one queue — on any host sharing the
+  directory, or on any host at all via ``--queue-url`` against a
+  ``queue-server``.
+* ``queue-server --queue-dir PATH`` — serve a queue directory over
+  HTTP so remote followers (``worker --queue-url``) can drain it with
+  no shared filesystem.
+* ``queue-status --queue-dir PATH | --queue-url URL`` — one glance at
+  a queue: item counts, run settings, and per-worker health
+  (heartbeats: pid, host, items done, last-ack age, live/stale).
 * ``serve --host HOST --port PORT`` — expose the service over HTTP
   (JSON + Server-Sent Events; see :mod:`repro.serve`).  The default
   solves in-process on a thread pool; ``--queue-dir PATH`` enqueues
@@ -313,11 +321,34 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0 if result.solved else 1
 
 
+def _parse_workers(value: str) -> "int | str":
+    """``--workers`` accepts a process count or ``auto`` (elastic)."""
+    if value == "auto":
+        return "auto"
+    try:
+        workers = int(value)
+    except ValueError:
+        raise SystemExit(
+            f"--workers must be an integer or 'auto', got {value!r}"
+        ) from None
+    if workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {workers}")
+    return workers
+
+
 def _cmd_run_all(args: argparse.Namespace) -> int:
     if args.jobs < 1:
         raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
-    if args.workers < 1:
-        raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    workers = _parse_workers(args.workers)
+    if args.min_workers < 1:
+        raise SystemExit(
+            f"--min-workers must be >= 1, got {args.min_workers}"
+        )
+    if args.max_workers is not None and args.max_workers < args.min_workers:
+        raise SystemExit(
+            f"--max-workers ({args.max_workers}) must be >= --min-workers "
+            f"({args.min_workers})"
+        )
     if args.timeout is not None and args.timeout <= 0:
         raise SystemExit(f"--timeout must be positive, got {args.timeout}")
     if args.cross_batch < 1:
@@ -333,7 +364,10 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
         raise SystemExit(
             f"--cross-batch requires the gcln solver, got {args.solver!r}"
         )
-    distributed = args.workers > 1 or args.queue_dir is not None
+    distributed = (
+        workers == "auto" or args.queue_dir is not None
+        or (isinstance(workers, int) and workers > 1)
+    )
     if distributed and args.jobs > 1:
         raise SystemExit(
             "--workers/--queue-dir and --jobs are mutually exclusive: the "
@@ -377,6 +411,19 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
             flush=True,
         )
 
+    def fleet_tail(snapshot: dict) -> None:
+        # The coordinator's live tail: one line per fleet/queue change,
+        # with per-worker health inline when anything is unhealthy.
+        states = [w.get("state") for w in snapshot.get("workers", [])]
+        stale = sum(1 for s in states if s == "stale")
+        suffix = f", {stale} stale" if stale else ""
+        print(
+            f"[  fleet] {snapshot['live_workers']} live worker(s){suffix}; "
+            f"{snapshot['pending']} pending, {snapshot['claimed']} claimed, "
+            f"{snapshot['journaled']} journaled",
+            flush=True,
+        )
+
     try:
         records = service.solve_many(
             problems,
@@ -385,8 +432,11 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
             timeout_seconds=args.timeout,
             progress=progress,
             cross_batch=args.cross_batch,
-            workers=args.workers,
+            workers=workers,
             queue_dir=args.queue_dir,
+            min_workers=args.min_workers,
+            max_workers=args.max_workers,
+            fleet_status=fleet_tail if distributed else None,
         )
     except ReproError as exc:
         raise SystemExit(str(exc)) from exc
@@ -429,7 +479,7 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
             title=(
                 f"run-all — suite {suite_label}, solver {args.solver}, "
                 + (
-                    f"{args.workers} worker(s)"
+                    f"{workers} worker(s)"
                     if distributed
                     else f"{args.jobs} job(s)"
                 )
@@ -491,9 +541,22 @@ def _cmd_enqueue(args: argparse.Namespace) -> int:
     return 0
 
 
+def _queue_target(args: argparse.Namespace) -> str:
+    """The queue a command should talk to: a directory or a server URL."""
+    if getattr(args, "queue_url", None) and getattr(args, "queue_dir", None):
+        raise SystemExit("--queue-dir and --queue-url are mutually exclusive")
+    target = getattr(args, "queue_url", None) or getattr(
+        args, "queue_dir", None
+    )
+    if not target:
+        raise SystemExit("need --queue-dir PATH or --queue-url URL")
+    return target
+
+
 def _cmd_worker(args: argparse.Namespace) -> int:
     from repro.dist import Worker, WorkQueue, install_stop_handler
 
+    target = _queue_target(args)
     if args.batch_size is not None and args.batch_size < 1:
         raise SystemExit(f"--batch-size must be >= 1, got {args.batch_size}")
     if args.max_items is not None and args.max_items < 1:
@@ -510,7 +573,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
 
     try:
         worker = Worker(
-            WorkQueue.open(args.queue_dir),
+            WorkQueue.open(target),
             worker_id=args.worker_id,
             cache_dir=args.cache_dir,
             batch_size=args.batch_size,
@@ -528,6 +591,94 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         )
     else:
         print(f"worker {worker.worker_id}: processed {processed} item(s)")
+    return 0
+
+
+def _cmd_queue_server(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.dist import serve_queue
+
+    server = serve_queue(
+        args.queue_dir, host=args.host, port=args.port, verbose=args.verbose
+    )
+    host, port = server.server_address[:2]
+    print(
+        f"serving work queue {args.queue_dir} at http://{host}:{port}",
+        flush=True,
+    )
+    print(
+        f"follow it: python -m repro worker --queue-url http://{host}:{port}",
+        flush=True,
+    )
+    signal.signal(signal.SIGTERM, lambda *_: server.shutdown())
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def _cmd_queue_status(args: argparse.Namespace) -> int:
+    from repro.dist import WorkQueue
+
+    target = _queue_target(args)
+    try:
+        queue = WorkQueue.open(target)
+        counts = queue.counts()
+        fleet = queue.worker_health()
+        meta = queue.meta
+    except ReproError as exc:
+        raise SystemExit(str(exc)) from exc
+    if args.json:
+        _write_json(
+            args.json,
+            {
+                "queue": str(queue.root),
+                "meta": meta,
+                "counts": counts,
+                "workers": fleet,
+            },
+        )
+        return 0
+    print(f"queue:   {queue.root}")
+    print(
+        f"run:     solver={meta.get('solver', 'gcln')} "
+        f"cross_batch={meta.get('cross_batch', 1)} "
+        f"lease={meta.get('lease_seconds')}s suite={meta.get('suite')}"
+    )
+    print(
+        f"items:   {counts['pending']} pending, {counts['claimed']} claimed, "
+        f"{counts['done']} done, {counts['journaled']} journaled"
+    )
+    if not fleet:
+        print("workers: none have reported yet")
+        return 0
+    rows = [
+        [
+            w.get("worker", "?"),
+            w.get("state", "?"),
+            w.get("host", "?"),
+            w.get("pid", "?"),
+            w.get("items_done", 0),
+            (
+                f"{w['last_ack_age']:.0f}s"
+                if w.get("last_ack_age") is not None
+                else "-"
+            ),
+            f"{w.get('age_seconds', 0.0):.0f}s",
+        ]
+        for w in fleet
+    ]
+    print(
+        format_table(
+            ["worker", "state", "host", "pid", "done", "last ack", "last beat"],
+            rows,
+            title="worker fleet",
+        )
+    )
     return 0
 
 
@@ -714,21 +865,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     all_parser.add_argument(
         "--workers",
-        type=int,
-        default=1,
+        default="1",
         metavar="N",
         help=(
             "drain the suite with N queue workers (the distributed "
-            "runner; mutually exclusive with --jobs)"
+            "runner; mutually exclusive with --jobs), or 'auto' for an "
+            "elastic fleet sized to queue depth between --min-workers "
+            "and --max-workers"
+        ),
+    )
+    all_parser.add_argument(
+        "--min-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="elastic-fleet floor with --workers auto (default: 1)",
+    )
+    all_parser.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "elastic-fleet ceiling with --workers auto "
+            "(default: CPU count, capped at 8)"
         ),
     )
     all_parser.add_argument(
         "--queue-dir",
         metavar="PATH",
         help=(
-            "durable work-queue directory for --workers; re-running on a "
-            "half-finished queue resumes it (journaled problems are not "
-            "re-solved).  Default: a private temporary queue"
+            "durable work-queue directory (or queue-server URL) for "
+            "--workers; re-running on a half-finished queue resumes it "
+            "(journaled problems are not re-solved; the stored "
+            "cross-batch width must match).  Default: a private "
+            "temporary queue"
         ),
     )
     all_parser.add_argument(
@@ -814,8 +985,15 @@ def build_parser() -> argparse.ArgumentParser:
         "worker", help="drain a work queue: claim, solve, ack"
     )
     worker_parser.add_argument(
-        "--queue-dir", required=True, metavar="PATH",
+        "--queue-dir", metavar="PATH",
         help="work-queue directory to drain",
+    )
+    worker_parser.add_argument(
+        "--queue-url", metavar="URL",
+        help=(
+            "follow a remote queue served by 'queue-server' over HTTP "
+            "instead of a local --queue-dir (no shared filesystem needed)"
+        ),
     )
     worker_parser.add_argument(
         "--cache-dir", metavar="PATH",
@@ -838,6 +1016,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="identity recorded on claims/journal lines (default: generated)",
     )
     worker_parser.set_defaults(func=_cmd_worker)
+
+    queue_server_parser = sub.add_parser(
+        "queue-server",
+        help="serve a work-queue directory over HTTP for remote workers",
+    )
+    queue_server_parser.add_argument(
+        "--queue-dir", required=True, metavar="PATH",
+        help="work-queue directory to serve (layout created if missing)",
+    )
+    queue_server_parser.add_argument(
+        "--host", default="127.0.0.1", metavar="HOST",
+        help="bind address (default: 127.0.0.1; 0.0.0.0 for a fleet)",
+    )
+    queue_server_parser.add_argument(
+        "--port", type=int, default=8787, metavar="PORT",
+        help="bind port (default: 8787; 0 picks an ephemeral port)",
+    )
+    queue_server_parser.add_argument(
+        "--verbose", action="store_true",
+        help="log every request (default: quiet)",
+    )
+    queue_server_parser.set_defaults(func=_cmd_queue_server)
+
+    queue_status_parser = sub.add_parser(
+        "queue-status",
+        help="show a queue's depth, settings, and per-worker health",
+    )
+    queue_status_parser.add_argument(
+        "--queue-dir", metavar="PATH", help="work-queue directory to inspect",
+    )
+    queue_status_parser.add_argument(
+        "--queue-url", metavar="URL",
+        help="inspect a remote queue served by 'queue-server'",
+    )
+    queue_status_parser.add_argument(
+        "--json", metavar="PATH",
+        help="write status as JSON ('-' for stdout)",
+    )
+    queue_status_parser.set_defaults(func=_cmd_queue_status)
 
     serve_parser = sub.add_parser(
         "serve", help="expose the invariant service over HTTP (JSON + SSE)"

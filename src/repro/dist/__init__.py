@@ -13,8 +13,16 @@ shared filesystem, beyond one host) through three small pieces:
   on-disk trace-cache spill), ack each record, repeat until the queue
   drains.
 * :mod:`repro.dist.coordinator` — enqueue a suite (skipping journaled
-  items, so resume is free), optionally spawn local workers, wait, and
-  merge the journal into the same payload ``run-all --json`` emits.
+  items, so resume is free), optionally spawn local workers (a fixed
+  count or an elastic ``workers="auto"`` fleet sized to queue depth),
+  wait, and merge the journal into the same payload ``run-all --json``
+  emits.
+* :mod:`repro.dist.transport` — the byte-transport layer under the
+  queue: :class:`~repro.dist.transport.LocalDirTransport` (the PR 5
+  directory semantics) and :class:`~repro.dist.transport.HttpTransport`
+  (follow a queue with no filesystem access, with retry/backoff).
+* :mod:`repro.dist.server` — ``python -m repro queue-server``, the
+  thin HTTP object-store endpoint remote followers talk to.
 
 Everything rides on the wire formats of the earlier PRs:
 ``ProblemRecord.to_dict()`` is the journal line and
@@ -22,12 +30,23 @@ Everything rides on the wire formats of the earlier PRs:
 """
 
 from repro.dist.coordinator import (
+    check_cross_batch,
     enqueue_suite,
     merge_payload,
     run_distributed,
     wait_for_drain,
 )
 from repro.dist.queue import QueueError, WorkItem, WorkQueue
+from repro.dist.server import serve_queue
+from repro.dist.transport import (
+    HttpTransport,
+    LocalDirTransport,
+    RetryingTransport,
+    Transport,
+    TransportError,
+    TransportNotFound,
+    transport_for,
+)
 from repro.dist.wire import (
     config_from_dict,
     config_to_dict,
@@ -37,17 +56,26 @@ from repro.dist.wire import (
 from repro.dist.worker import Worker, install_stop_handler
 
 __all__ = [
+    "HttpTransport",
+    "LocalDirTransport",
     "QueueError",
+    "RetryingTransport",
+    "Transport",
+    "TransportError",
+    "TransportNotFound",
     "WorkItem",
     "WorkQueue",
     "Worker",
-    "install_stop_handler",
+    "check_cross_batch",
     "config_from_dict",
     "config_to_dict",
     "enqueue_suite",
+    "install_stop_handler",
     "merge_payload",
     "problem_from_dict",
     "problem_to_dict",
     "run_distributed",
+    "serve_queue",
+    "transport_for",
     "wait_for_drain",
 ]

@@ -33,10 +33,17 @@ import tempfile
 import time
 from typing import TYPE_CHECKING, Callable, Sequence
 
-from repro.dist.queue import DEFAULT_LEASE_SECONDS, WorkQueue
+from repro.dist.queue import DEFAULT_LEASE_SECONDS, QueueError, WorkQueue
+from repro.dist.transport import TransportNotFound
 from repro.dist.wire import config_to_dict, item_for_problem
 from repro.dist.worker import Worker, worker_main
 from repro.errors import ReproError
+
+#: Elastic mode never spawns more than this many extra processes after
+#: retiring/replacing crashed ones — a crash-looping worker must not
+#: fork-bomb the host.  The inline-drain safety net finishes the suite
+#: regardless.
+ELASTIC_RESPAWN_FACTOR = 4
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.infer.config import InferenceConfig
@@ -51,7 +58,7 @@ def build_meta(
     timeout_seconds: float | None = None,
     cross_batch: int = 1,
     suite: str | None = None,
-    workers: int = 1,
+    workers: "int | str" = 1,
 ) -> dict:
     """The run-wide settings every worker must agree on."""
     return {
@@ -162,25 +169,49 @@ def merge_payload(queue: WorkQueue) -> dict:
 def _reclaim_dead(queue: WorkQueue, worker_ids: set[str]) -> int:
     """Return items claimed by known-dead workers to pending."""
     reclaimed = 0
-    for path in list(queue.claimed_dir.glob("*.json")):
+    for name in queue.transport.listdir("claimed"):
         try:
-            data = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError):
+            data = json.loads(
+                queue.transport.read(f"claimed/{name}").decode("utf-8")
+            )
+        except (TransportNotFound, json.JSONDecodeError, UnicodeDecodeError):
             continue
         if data.get("claimed_by") in worker_ids:
-            try:
-                os.rename(path, queue.pending_dir / path.name)
+            if queue.transport.rename(f"claimed/{name}", f"pending/{name}"):
                 reclaimed += 1
-            except FileNotFoundError:
-                continue
     return reclaimed
+
+
+def check_cross_batch(queue_target: "str | None", cross_batch: int) -> None:
+    """Reject a cross-batch width that disagrees with an existing queue.
+
+    A queue's ``meta.json`` is authoritative for *how* items are solved
+    (the worker contract), and item ids do not embed ``cross_batch`` —
+    so resuming a queue with a different width would silently re-solve
+    the remainder under different batching than the journaled part.
+    ``run-all --workers`` used to let ``WorkQueue.create`` overwrite
+    the stored width without a word; now it is an error.
+    """
+    if queue_target is None:
+        return
+    try:
+        existing = WorkQueue.open(queue_target).meta
+    except QueueError:
+        return  # fresh directory: nothing to disagree with
+    stored = int(existing.get("cross_batch", 1) or 1)
+    if stored != cross_batch:
+        raise QueueError(
+            f"queue {queue_target} was created with cross_batch={stored}, "
+            f"but this run asked for cross_batch={cross_batch}; re-run with "
+            f"--cross-batch {stored} or point at a fresh queue directory"
+        )
 
 
 def run_distributed(
     problems: Sequence["Problem"],
     config: "InferenceConfig | None" = None,
     *,
-    workers: int = 2,
+    workers: "int | str" = 2,
     queue_dir: str | None = None,
     solver: str = "gcln",
     timeout_seconds: float | None = None,
@@ -190,13 +221,33 @@ def run_distributed(
     suite: str | None = None,
     progress: Callable[["ProblemRecord"], None] | None = None,
     poll_seconds: float = 0.5,
+    min_workers: int = 1,
+    max_workers: int | None = None,
+    fleet_status: Callable[[dict], None] | None = None,
 ) -> list["ProblemRecord"]:
-    """Fan ``problems`` out over ``workers`` local worker processes.
+    """Fan ``problems`` out over local worker processes.
+
+    ``workers`` is a fixed process count, or ``"auto"`` for an elastic
+    fleet: the coordinator sizes the pool to the queue depth every
+    poll — spawning up to ``max_workers`` (default: CPU count, capped
+    at 8) while items outnumber live workers, retiring workers (clean
+    ``SIGTERM``, they finish their current item) as the queue drains
+    below the pool size, and never dropping under ``min_workers``
+    until the drain completes.  Dead workers are replaced within a
+    bounded respawn budget.
 
     With ``queue_dir`` the queue is durable: a re-run on the same
     directory skips everything already journaled and only solves the
     rest (items are matched by stable ids, so the problem list must be
-    the same).  Without it a temporary queue is used and removed.
+    the same — and the stored ``cross_batch`` must match, see
+    :func:`check_cross_batch`).  Without it a temporary queue is used
+    and removed.  ``queue_dir`` may also be an ``http(s)://`` queue
+    server URL, in which case the spawned workers are remote followers
+    of that server.
+
+    ``fleet_status`` (if given) is called with a snapshot dict — live
+    worker count, queue counts, per-worker health — every time the
+    fleet or queue state changes; it is the coordinator's live tail.
 
     Always returns one record per problem, in input order: if worker
     processes die (OOM, SIGKILL), their leases are reclaimed and the
@@ -204,8 +255,24 @@ def run_distributed(
     """
     from repro.infer.runner import STATUS_ERROR, ProblemRecord
 
-    if workers < 1:
+    elastic = workers == "auto"
+    if elastic:
+        if min_workers < 1:
+            raise ValueError(f"min_workers must be >= 1, got {min_workers}")
+        if max_workers is None:
+            max_workers = max(2, min(os.cpu_count() or 2, 8))
+        if max_workers < min_workers:
+            raise ValueError(
+                f"max_workers ({max_workers}) must be >= min_workers "
+                f"({min_workers})"
+            )
+    elif not isinstance(workers, int):
+        raise ValueError(
+            f"workers must be an integer or 'auto', got {workers!r}"
+        )
+    elif workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    check_cross_batch(queue_dir, cross_batch)
     temp_dir = None
     if queue_dir is None:
         temp_dir = tempfile.mkdtemp(prefix="repro-queue-")
@@ -259,30 +326,86 @@ def run_distributed(
             journal_cursor = len(entries)
 
         expected_set = set(expected)
-        worker_ids = {f"local-{i}" for i in range(workers)}
         context = multiprocessing.get_context()
-        processes = [
-            context.Process(
+        processes: dict[str, multiprocessing.process.BaseProcess] = {}
+        spawned = 0
+
+        def spawn_worker() -> None:
+            nonlocal spawned
+            worker_id = f"local-{spawned}"
+            spawned += 1
+            process = context.Process(
                 target=worker_main,
                 args=(str(queue.root),),
                 kwargs={
                     "cache_dir": cache_dir,
-                    "worker_id": f"local-{i}",
+                    "worker_id": worker_id,
                     "poll_seconds": poll_seconds,
                 },
                 daemon=False,
             )
-            for i in range(workers)
-        ]
-        for process in processes:
             process.start()
+            processes[worker_id] = process
+
+        def clamp_to_depth(unfinished: int) -> int:
+            return min(max(unfinished, min_workers), max_workers)
+
+        if elastic:
+            spawn_budget = max_workers * ELASTIC_RESPAWN_FACTOR
+            initial = clamp_to_depth(queue.unfinished()) if queue.unfinished() else 0
+            for _ in range(initial):
+                spawn_worker()
+        else:
+            spawn_budget = workers
+            for _ in range(workers):
+                spawn_worker()
+
+        last_status: dict | None = None
+
+        def emit_fleet() -> None:
+            """The coordinator's live tail: one snapshot per state change."""
+            nonlocal last_status
+            if fleet_status is None:
+                return
+            counts = queue.counts()
+            live = sum(1 for p in processes.values() if p.is_alive())
+            snapshot = {"live_workers": live, "spawned_workers": spawned,
+                        **counts}
+            if snapshot == last_status:
+                return
+            last_status = dict(snapshot)
+            snapshot["workers"] = queue.worker_health()
+            fleet_status(snapshot)
+
         try:
-            while any(p.is_alive() for p in processes):
+            while any(p.is_alive() for p in processes.values()):
                 emit_new()
+                emit_fleet()
+                if elastic:
+                    unfinished = queue.unfinished()
+                    target = clamp_to_depth(unfinished)
+                    live = [
+                        (wid, p) for wid, p in processes.items()
+                        if p.is_alive()
+                    ]
+                    if (
+                        unfinished > 0
+                        and len(live) < target
+                        and spawned < spawn_budget
+                    ):
+                        spawn_worker()  # one per tick: a gentle ramp
+                    elif len(live) > target:
+                        # Retire the newest worker.  terminate() is
+                        # SIGTERM, which the worker handles gracefully:
+                        # it finishes its current item, releases the
+                        # rest of its claims, and exits 0.
+                        live[-1][1].terminate()
                 time.sleep(poll_seconds)
         finally:
-            for process in processes:
+            for process in processes.values():
                 process.join()
+        emit_fleet()
+        worker_ids = set(processes)
         if queue.unfinished() > 0:
             # Some worker died (or third-party claims are stuck): take
             # back our dead workers' claims and finish here, inline.

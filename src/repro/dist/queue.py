@@ -1,8 +1,10 @@
-"""Filesystem-backed, journaled work queue.
+"""Transport-backed, journaled work queue.
 
-One queue is one directory.  Every mutation is an atomic filesystem
-operation, so any number of worker processes (or hosts, over a shared
-filesystem) can claim from the same queue without a broker:
+One queue is one directory — local, or served over HTTP by
+``python -m repro queue-server``.  Every mutation is an atomic
+operation of the underlying :class:`~repro.dist.transport.Transport`,
+so any number of worker processes (or hosts, with no shared filesystem
+at all) can claim from the same queue without a broker:
 
 ```
 queue-dir/
@@ -10,51 +12,65 @@ queue-dir/
 ├── pending/         one <item-id>.json per unclaimed item
 ├── claimed/         items leased to a worker (mtime = lease stamp)
 ├── done/            acked items (kept as idempotency markers)
+├── health/          per-worker heartbeat files (mtime = last beat)
 └── journal.jsonl    append-only finished-record log
 ```
 
-* **enqueue** writes ``pending/<id>.json`` via ``mkstemp`` +
-  ``os.replace`` and skips ids that are already anywhere in the queue
-  or the journal — re-enqueueing a half-finished suite is a no-op for
-  the finished part, which is what makes coordinator resume free.
+* **enqueue** writes ``pending/<id>.json`` atomically and skips ids
+  that are already anywhere in the queue or the journal —
+  re-enqueueing a half-finished suite is a no-op for the finished
+  part, which is what makes coordinator resume free.
 * **claim** renames ``pending/X`` → ``claimed/X``; the rename is atomic,
   so exactly one of several racing workers wins each item.  The claimed
   file's mtime is the lease stamp: a worker renews it by touching the
   file, and any claim call first *reaps* expired leases back to
-  ``pending/`` so items held by crashed workers are re-run.
+  ``pending/`` so items held by crashed workers are re-run.  Expiry is
+  computed against the *transport's* clock (one ``scan`` returns the
+  stamps and "now" together), so a remote follower with a skewed clock
+  never mis-reaps.
 * **ack** atomically renames the item's queue file onto ``done/X`` —
   of any number of racing ackers (possible after lease-expiry
-  re-claims), exactly one rename wins — then the winner appends the
-  finished payload to ``journal.jsonl`` under an advisory ``flock``.
-  Losers and repeats are no-ops, so acks are idempotent.
+  re-claims), exactly one rename wins — then appends the finished
+  payload to ``journal.jsonl`` under the transport's journal lock.
+  The journal itself dedups by item id, so acks are idempotent even
+  when a transport retry re-delivers one (and a loser whose winner
+  crashed before journaling heals the gap by appending its own line).
 * **journal** writes and reads both tolerate a crash mid-append: a
   partial *trailing* line is truncated away (by the next appender
   under the lock, or by a reader), never fatal; corruption anywhere
   else raises, because that means something other than a mid-write
   crash damaged the log.
+* **heartbeat** writes ``health/<worker>.json`` with the worker's
+  vitals; the file's transport mtime is the beat clock, so staleness
+  is judged on the queue host, not the (possibly skewed) worker.
 """
 
 from __future__ import annotations
 
 import json
-import os
-import tempfile
+import re
 import time
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.dist.transport import (
+    LocalDirTransport,
+    Transport,
+    TransportNotFound,
+    transport_for,
+)
 from repro.errors import ReproError
-
-try:  # POSIX only; on other platforms journal appends go unlocked.
-    import fcntl
-except ImportError:  # pragma: no cover - non-POSIX fallback
-    fcntl = None  # type: ignore[assignment]
 
 DEFAULT_LEASE_SECONDS = 300.0
 
+#: A heartbeat older than this many seconds marks the worker "stale"
+#: (likely dead; its claims will come back via lease expiry).
+DEFAULT_STALE_SECONDS = 30.0
+
 _META = "meta.json"
 _JOURNAL = "journal.jsonl"
-_TMP_PREFIX = ".tmp-"
+
+_UNSAFE_ID_CHARS = re.compile(r"[^A-Za-z0-9._-]+")
 
 
 class QueueError(ReproError):
@@ -69,44 +85,54 @@ class WorkItem:
     data: dict
 
 
-def _atomic_write_json(path: Path, payload: dict) -> None:
-    fd, tmp = tempfile.mkstemp(
-        prefix=_TMP_PREFIX, suffix=".json", dir=str(path.parent)
-    )
-    try:
-        with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle)
-        os.replace(tmp, path)
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except FileNotFoundError:
-            pass
-        raise
+def _dump(payload: dict) -> bytes:
+    return json.dumps(payload).encode("utf-8")
 
 
-def _item_files(directory: Path) -> list[Path]:
-    try:
-        entries = list(os.scandir(directory))
-    except FileNotFoundError:
-        return []
-    return sorted(
-        (Path(e.path) for e in entries
-         if e.name.endswith(".json") and not e.name.startswith(".")),
-        key=lambda p: p.name,
-    )
+def sanitize_worker_id(worker_id: str) -> str:
+    """A worker id reduced to a safe ``health/`` file stem."""
+    safe = _UNSAFE_ID_CHARS.sub("-", worker_id).lstrip(".")
+    return safe or "worker"
 
 
 class WorkQueue:
-    """A queue directory handle; see the module docstring for layout."""
+    """A queue handle over a transport; see the module docstring.
 
-    def __init__(self, root: str | Path):
-        self.root = Path(root)
-        self.pending_dir = self.root / "pending"
-        self.claimed_dir = self.root / "claimed"
-        self.done_dir = self.root / "done"
-        self.journal_path = self.root / _JOURNAL
-        self.meta_path = self.root / _META
+    ``root`` may be a local directory path or an ``http(s)://`` queue
+    server URL (:func:`~repro.dist.transport.transport_for` picks the
+    transport); pass ``transport=`` to inject a wrapped one.  For local
+    queues the PR 5 path attributes (``pending_dir`` etc.) remain real
+    paths; on remote transports they are ``None``.
+    """
+
+    def __init__(
+        self,
+        root: "str | Path | None" = None,
+        *,
+        transport: Transport | None = None,
+    ):
+        if transport is None:
+            if root is None:
+                raise QueueError("WorkQueue needs a root path/URL or a transport")
+            transport = transport_for(root)
+        self.transport = transport
+        local = transport
+        while not isinstance(local, LocalDirTransport):
+            local = getattr(local, "inner", None)
+            if local is None:
+                break
+        if isinstance(local, LocalDirTransport):
+            self.root: "Path | str" = local.root
+            self.pending_dir: "Path | None" = local.root / "pending"
+            self.claimed_dir: "Path | None" = local.root / "claimed"
+            self.done_dir: "Path | None" = local.root / "done"
+            self.health_dir: "Path | None" = local.root / "health"
+            self.journal_path: "Path | None" = local.root / _JOURNAL
+            self.meta_path: "Path | None" = local.root / _META
+        else:
+            self.root = transport.describe()
+            self.pending_dir = self.claimed_dir = self.done_dir = None
+            self.health_dir = self.journal_path = self.meta_path = None
         self._meta: dict | None = None
 
     # -- lifecycle -------------------------------------------------------------
@@ -114,12 +140,13 @@ class WorkQueue:
     @classmethod
     def create(
         cls,
-        root: str | Path,
+        root: "str | Path | None" = None,
         *,
         meta: dict | None = None,
         lease_seconds: float | None = None,
+        transport: Transport | None = None,
     ) -> "WorkQueue":
-        """Create (or re-open) the queue directory, writing ``meta.json``.
+        """Create (or re-open) the queue, writing ``meta.json``.
 
         Re-creating an existing queue keeps its items and journal but
         refreshes the metadata — re-running a coordinator with the same
@@ -129,56 +156,67 @@ class WorkQueue:
         it, so a resuming coordinator still reaps the original run's
         expired claims on schedule.
         """
-        queue = cls(root)
+        queue = cls(root, transport=transport)
         if lease_seconds is None:
             lease_seconds = DEFAULT_LEASE_SECONDS
-            if queue.meta_path.is_file():
+            existing = queue._read_meta()
+            if existing is not None:
                 try:
-                    existing = json.loads(
-                        queue.meta_path.read_text(encoding="utf-8")
-                    )
                     lease_seconds = float(
                         existing.get("lease_seconds", DEFAULT_LEASE_SECONDS)
                     )
-                except (json.JSONDecodeError, TypeError, ValueError):
+                except (TypeError, ValueError):
                     pass
         if lease_seconds <= 0:
             raise QueueError(
                 f"lease_seconds must be positive, got {lease_seconds}"
             )
-        for directory in (
-            queue.root, queue.pending_dir, queue.claimed_dir, queue.done_dir
-        ):
-            directory.mkdir(parents=True, exist_ok=True)
+        queue.transport.ensure_layout()
         payload = dict(meta or {})
         payload["lease_seconds"] = float(lease_seconds)
         payload.setdefault("created_at", time.time())
-        _atomic_write_json(queue.meta_path, payload)
+        queue.transport.write(_META, _dump(payload))
         queue._meta = payload
         return queue
 
     @classmethod
-    def open(cls, root: str | Path) -> "WorkQueue":
-        """Open an existing queue; raises if ``root`` is not one."""
-        queue = cls(root)
-        if not queue.meta_path.is_file():
+    def open(
+        cls,
+        root: "str | Path | None" = None,
+        *,
+        transport: Transport | None = None,
+    ) -> "WorkQueue":
+        """Open an existing queue; raises if the target is not one."""
+        queue = cls(root, transport=transport)
+        if queue._read_meta() is None:
             raise QueueError(
-                f"{root} is not a work queue (no {_META}); create one with "
-                "'python -m repro enqueue --queue-dir ...'"
+                f"{queue.root} is not a work queue (no {_META}); create one "
+                "with 'python -m repro enqueue --queue-dir ...'"
             )
         return queue
+
+    def _read_meta(self) -> dict | None:
+        """Parsed ``meta.json``, or ``None`` if absent/corrupt."""
+        try:
+            return json.loads(self.transport.read(_META).decode("utf-8"))
+        except TransportNotFound:
+            return None
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return None
 
     @property
     def meta(self) -> dict:
         if self._meta is None:
             try:
-                self._meta = json.loads(
-                    self.meta_path.read_text(encoding="utf-8")
-                )
-            except FileNotFoundError as exc:
+                raw = self.transport.read(_META)
+            except TransportNotFound as exc:
                 raise QueueError(f"{self.root} has no {_META}") from exc
+            try:
+                self._meta = json.loads(raw.decode("utf-8"))
             except json.JSONDecodeError as exc:
-                raise QueueError(f"corrupt {self.meta_path}: {exc}") from exc
+                raise QueueError(
+                    f"corrupt {_META} in {self.root}: {exc}"
+                ) from exc
         return self._meta
 
     @property
@@ -208,7 +246,7 @@ class WorkQueue:
             if item_id in seen:
                 skipped += 1
                 continue
-            _atomic_write_json(self.pending_dir / f"{item_id}.json", item)
+            self.transport.write(f"pending/{item_id}.json", _dump(item))
             seen.add(item_id)
             added += 1
         return added, skipped
@@ -227,68 +265,57 @@ class WorkQueue:
             raise QueueError(f"claim limit must be >= 1, got {limit}")
         self.reap_expired()
         claimed: list[WorkItem] = []
-        for path in _item_files(self.pending_dir):
+        for name in self.transport.listdir("pending"):
             if len(claimed) >= limit:
                 break
-            target = self.claimed_dir / path.name
-            try:
-                os.rename(path, target)
-            except FileNotFoundError:
+            target = f"claimed/{name}"
+            if not self.transport.rename(f"pending/{name}", target):
                 continue  # another worker won this item
+            # Start the lease clock now: the rename kept the file's
+            # pending-era mtime, and an item that waited longer than
+            # the lease would otherwise look instantly expired to a
+            # concurrent reaper.  That reaper can still win the
+            # microscopic window before this stamp — then the file is
+            # already back in pending and we just lost the race.
+            self.transport.touch(target)
             try:
-                # Start the lease clock now: the rename kept the file's
-                # pending-era mtime, and an item that waited longer
-                # than the lease would otherwise look instantly expired
-                # to a concurrent reaper.  That reaper can still win the
-                # microscopic window before this stamp — then the file
-                # is already back in pending and we just lost the race.
-                os.utime(target, None)
-                data = json.loads(target.read_text(encoding="utf-8"))
-            except FileNotFoundError:
+                data = json.loads(self.transport.read(target).decode("utf-8"))
+            except TransportNotFound:
                 continue  # reaped out from under us; someone else's now
-            except (OSError, json.JSONDecodeError) as exc:
-                raise QueueError(f"corrupt queue item {target}: {exc}") from exc
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                raise QueueError(
+                    f"corrupt queue item {target} in {self.root}: {exc}"
+                ) from exc
             data["claimed_by"] = worker
             data["claimed_at"] = time.time()
-            _atomic_write_json(target, data)  # also stamps the lease mtime
-            claimed.append(WorkItem(id=path.stem, data=data))
+            self.transport.write(target, _dump(data))  # also re-stamps the lease
+            claimed.append(WorkItem(id=name[: -len(".json")], data=data))
         return claimed
 
     def renew(self, item_id: str) -> bool:
         """Extend the lease on a claimed item; False if no longer held."""
-        try:
-            os.utime(self.claimed_dir / f"{item_id}.json", None)
-            return True
-        except FileNotFoundError:
-            return False
+        return self.transport.touch(f"claimed/{item_id}.json")
 
     def release(self, item_id: str) -> bool:
         """Voluntarily return a claimed item to pending (e.g. shutdown)."""
-        try:
-            os.rename(
-                self.claimed_dir / f"{item_id}.json",
-                self.pending_dir / f"{item_id}.json",
-            )
-            return True
-        except FileNotFoundError:
-            return False
+        return self.transport.rename(
+            f"claimed/{item_id}.json", f"pending/{item_id}.json"
+        )
 
     def reap_expired(self) -> int:
-        """Move claims whose lease expired back to pending; returns count."""
-        deadline = time.time() - self.lease_seconds
+        """Move claims whose lease expired back to pending; returns count.
+
+        Stamps and "now" come from one transport ``scan``, so expiry is
+        judged entirely on the queue host's clock.
+        """
+        now, stamps = self.transport.scan("claimed")
+        deadline = now - self.lease_seconds
         reaped = 0
-        for path in _item_files(self.claimed_dir):
-            try:
-                expired = path.stat().st_mtime < deadline
-            except FileNotFoundError:
+        for name, mtime in stamps:
+            if mtime >= deadline:
                 continue
-            if not expired:
-                continue
-            try:
-                os.rename(path, self.pending_dir / path.name)
+            if self.transport.rename(f"claimed/{name}", f"pending/{name}"):
                 reaped += 1
-            except FileNotFoundError:
-                continue  # acked or reaped by someone else meanwhile
         return reaped
 
     # -- ack / journal ---------------------------------------------------------
@@ -296,33 +323,38 @@ class WorkQueue:
     def ack(self, item_id: str, payload: dict, worker: str = "") -> bool:
         """Record a finished item: mark it done, journal the payload.
 
-        Exactly one of any number of racing ackers journals: the gate
-        is an atomic rename of the item's queue file onto the ``done/``
-        marker, so double-acks — e.g. after a lease expired mid-solve
-        and a second worker finished the re-claimed item — are
-        idempotent without a lock.  The loser's result is discarded
-        (the winner journaled the same item).
+        The gate is an atomic rename of the item's queue file onto the
+        ``done/`` marker, so of any number of racing ackers — e.g.
+        after a lease expired mid-solve and a second worker finished
+        the re-claimed item — exactly one rename wins.  The journal
+        appends are idempotent on top of that (one line per id, ever),
+        which covers the two gaps a rename gate alone leaves: a
+        transport retry that re-delivers a rename that already
+        happened, and a winner that crashed after renaming but before
+        journaling (the "loser" then heals the journal with its own,
+        equally valid record).  Returns True if *this call* journaled.
         """
-        done_marker = self.done_dir / f"{item_id}.json"
-        try:
-            # The common case: we still hold the claim.  If another
-            # worker re-claimed the item after our lease expired, this
-            # takes *their* claim file — fine: their later ack then
-            # finds no file and an existing marker, and backs off.
-            os.rename(self.claimed_dir / f"{item_id}.json", done_marker)
-        except FileNotFoundError:
-            if done_marker.exists():
-                return False  # someone already acked this item
-            try:
-                # Our claim was reaped back to pending and nobody has
-                # re-claimed it yet; the work is done, so take it.
-                os.rename(self.pending_dir / f"{item_id}.json", done_marker)
-            except FileNotFoundError:
-                return False  # lost the race at every step; discard
+        done_marker = f"done/{item_id}.json"
+        marker_present = False
+        # The common case: we still hold the claim.  If another worker
+        # re-claimed the item after our lease expired, this takes
+        # *their* claim file — fine: their later ack then finds no file
+        # and an existing marker, and dedups in the journal.
+        if not self.transport.rename(f"claimed/{item_id}.json", done_marker):
+            if self.transport.exists(done_marker):
+                marker_present = True
+            elif not self.transport.rename(
+                f"pending/{item_id}.json", done_marker
+            ):
+                # Not claimed, not done, not pending: the item does not
+                # exist here at all — nothing to journal against.
+                return False
+        if marker_present and item_id in self.journaled_ids():
+            return False  # someone already acked *and* journaled this item
         return self._append_journal(
             {
-                # "id" first: _append_journal's dedup scan keys on the
-                # exact line prefix this ordering produces.
+                # "id" first: the journal dedup scan keys on the exact
+                # line prefix this ordering produces.
                 "id": item_id,
                 "worker": worker,
                 "finished_at": time.time(),
@@ -337,41 +369,7 @@ class WorkQueue:
         needle = (
             b'{"id":' + json.dumps(line["id"]).encode("utf-8") + b","
         )
-        # "a+b" (not "ab") so the heal/dedup logic below can read.
-        with open(self.journal_path, "a+b") as handle:
-            if fcntl is not None:
-                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
-            try:
-                handle.seek(0)
-                existing = handle.read()
-                # Self-heal before appending: every complete journal
-                # line ends with a newline (written in one call), so a
-                # file that doesn't has a torn tail from a crashed
-                # appender.  Appending after it would fuse the partial
-                # record with ours into permanent mid-file corruption;
-                # truncating it instead keeps the tear trailing, where
-                # readers already know it means "still claimed, will be
-                # re-run".
-                if existing and not existing.endswith(b"\n"):
-                    keep = existing.rfind(b"\n") + 1
-                    handle.truncate(keep)
-                    existing = existing[:keep]
-                # Last line of duplicate defense: even if two ackers
-                # each won a rename on *different* incarnations of the
-                # item file (a claim resurrected across a reap race),
-                # only one line per id ever lands in the journal.
-                index = existing.find(needle)
-                while index != -1:
-                    if index == 0 or existing[index - 1:index] == b"\n":
-                        return False
-                    index = existing.find(needle, index + 1)
-                handle.write(data)
-                handle.flush()
-                os.fsync(handle.fileno())
-                return True
-            finally:
-                if fcntl is not None:
-                    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        return self.transport.journal_append(data, needle)
 
     def journal_entries(self, repair: bool = True) -> list[dict]:
         """Parsed journal lines, oldest first.
@@ -381,10 +379,7 @@ class WorkQueue:
         its item is still claimed/pending and will be re-run.  Corrupt
         lines elsewhere raise: that is damage, not a crash artifact.
         """
-        try:
-            raw = self.journal_path.read_bytes()
-        except FileNotFoundError:
-            return []
+        raw = self.transport.journal_read()
         entries: list[dict] = []
         offset = 0
         for line in raw.splitlines(keepends=True):
@@ -396,31 +391,65 @@ class WorkQueue:
                     if raw[offset + len(line):].strip():
                         raise QueueError(
                             f"corrupt journal line at byte {offset} of "
-                            f"{self.journal_path}: {exc}"
+                            f"{self.root}/{_JOURNAL}: {exc}"
                         ) from exc
                     if repair:
-                        self._truncate_journal(offset, expected_size=len(raw))
+                        self.transport.journal_truncate(
+                            offset, expected_size=len(raw)
+                        )
                     break
             offset += len(line)
         return entries
 
-    def _truncate_journal(self, offset: int, expected_size: int) -> None:
-        with open(self.journal_path, "r+b") as handle:
-            if fcntl is not None:
-                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
-            try:
-                # Only repair what we actually read: if another worker
-                # appended since, leave the file alone rather than chop
-                # off its line (the next reader will deal with it).
-                handle.seek(0, os.SEEK_END)
-                if handle.tell() == expected_size:
-                    handle.truncate(offset)
-            finally:
-                if fcntl is not None:
-                    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
-
     def journaled_ids(self) -> set[str]:
         return {e["id"] for e in self.journal_entries()}
+
+    # -- worker health ---------------------------------------------------------
+
+    def heartbeat(self, worker_id: str, payload: dict) -> None:
+        """Publish a worker's vitals to ``health/``.
+
+        The transport stamps the file's mtime on write, so "how long
+        since this worker last beat" is measured on the queue host —
+        workers never need synchronized clocks.
+        """
+        body = dict(payload)
+        body["worker"] = worker_id
+        self.transport.write(
+            f"health/{sanitize_worker_id(worker_id)}.json", _dump(body)
+        )
+
+    def worker_health(
+        self, stale_after_seconds: float = DEFAULT_STALE_SECONDS
+    ) -> list[dict]:
+        """Every worker that ever beat on this queue, with liveness.
+
+        Each entry is the worker's last heartbeat payload plus
+        ``age_seconds`` (since that beat, on the queue host's clock)
+        and ``state``: ``"exited"`` (clean shutdown), ``"live"``, or
+        ``"stale"`` (no beat for ``stale_after_seconds`` — the worker
+        is probably dead and its claims will come back via the lease).
+        """
+        now, stamps = self.transport.scan("health")
+        fleet: list[dict] = []
+        for name, mtime in stamps:
+            try:
+                entry = json.loads(
+                    self.transport.read(f"health/{name}").decode("utf-8")
+                )
+            except (TransportNotFound, json.JSONDecodeError,
+                    UnicodeDecodeError):
+                continue
+            age = max(0.0, now - mtime)
+            entry["age_seconds"] = age
+            if entry.get("exited"):
+                entry["state"] = "exited"
+            elif age > stale_after_seconds:
+                entry["state"] = "stale"
+            else:
+                entry["state"] = "live"
+            fleet.append(entry)
+        return fleet
 
     # -- introspection ---------------------------------------------------------
 
@@ -432,23 +461,26 @@ class WorkQueue:
         the item's record is lost, so it must be re-runnable.
         """
         ids = self.journaled_ids()
-        for directory in (self.pending_dir, self.claimed_dir):
-            ids.update(p.stem for p in _item_files(directory))
+        for directory in ("pending", "claimed"):
+            ids.update(
+                name[: -len(".json")]
+                for name in self.transport.listdir(directory)
+            )
         return ids
 
     def counts(self) -> dict[str, int]:
         return {
-            "pending": len(_item_files(self.pending_dir)),
-            "claimed": len(_item_files(self.claimed_dir)),
-            "done": len(_item_files(self.done_dir)),
+            "pending": len(self.transport.listdir("pending")),
+            "claimed": len(self.transport.listdir("claimed")),
+            "done": len(self.transport.listdir("done")),
             "journaled": len(self.journal_entries()),
         }
 
     def unfinished(self) -> int:
         """Items still pending or claimed (0 = fully drained)."""
         return (
-            len(_item_files(self.pending_dir))
-            + len(_item_files(self.claimed_dir))
+            len(self.transport.listdir("pending"))
+            + len(self.transport.listdir("claimed"))
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

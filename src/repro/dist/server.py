@@ -1,0 +1,223 @@
+"""``python -m repro queue-server`` — serve a queue directory over HTTP.
+
+A deliberately thin object-store endpoint: each request executes one
+:class:`~repro.dist.transport.LocalDirTransport` verb against the
+served queue directory, so every atomicity guarantee the queue relies
+on (rename gates, the flock'd journal) holds on the server's
+filesystem no matter how many remote followers are connected — the
+server adds no state of its own and can be restarted freely.
+
+Routes (the :class:`~repro.dist.transport.HttpTransport` client):
+
+* ``GET  /q/<path>``              → object bytes (404 if absent)
+* ``PUT  /q/<path>``              → atomic write
+* ``POST /v1/rename``             → ``{"ok": bool}``   (atomic move)
+* ``POST /v1/touch``              → ``{"ok": bool}``   (lease renew)
+* ``POST /v1/delete``             → ``{"ok": bool}``
+* ``POST /v1/exists``             → ``{"ok": bool}``
+* ``POST /v1/scan``               → ``{"now": ..., "entries": [[name, mtime], ...]}``
+* ``GET  /v1/journal``            → raw journal bytes
+* ``POST /v1/journal/append``     → ``{"appended": bool}`` (locked, deduped)
+* ``POST /v1/journal/truncate``   → ``{"ok": true}``
+* ``GET  /v1/stats``              → counts + meta + per-worker health
+
+Only queue-shaped paths are accepted (``meta.json`` and
+``pending|claimed|done|health/<name>.json``), so a follower can never
+read or write outside the served directory.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import urllib.parse
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.dist.queue import WorkQueue
+from repro.dist.transport import LocalDirTransport, TransportNotFound
+
+DEFAULT_HOST = "127.0.0.1"
+
+_SAFE_NAME = r"(?!\.)[^/]+\.json"
+_OBJECT_PATH = re.compile(
+    rf"^(meta\.json|(pending|claimed|done|health)/{_SAFE_NAME})$"
+)
+_SAFE_DIR = re.compile(r"^(pending|claimed|done|health)$")
+
+
+def _valid_object(path: str) -> bool:
+    return bool(_OBJECT_PATH.match(path)) and ".." not in path
+
+
+class QueueRequestHandler(BaseHTTPRequestHandler):
+    """One HTTP request → one transport verb; see the module docstring."""
+
+    # Set by serve_queue() on the handler class.
+    transport: LocalDirTransport
+    queue: WorkQueue
+    verbose: bool = False
+
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing --------------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.verbose:  # pragma: no cover - debugging aid
+            super().log_message(format, *args)
+
+    def _send(self, status: int, body: bytes,
+              content_type: str = "application/json") -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, payload: dict, status: int = 200) -> None:
+        self._send(status, json.dumps(payload).encode("utf-8"))
+
+    def _fail(self, status: int, message: str) -> None:
+        self._send_json({"error": message}, status=status)
+
+    def _object_path(self) -> str | None:
+        """The validated queue-relative path of a ``/q/...`` URL."""
+        raw = urllib.parse.unquote(self.path[len("/q/"):])
+        return raw if _valid_object(raw) else None
+
+    def _read_body(self) -> bytes:
+        length = int(self.headers.get("Content-Length") or 0)
+        return self.rfile.read(length) if length else b""
+
+    def _body_json(self) -> dict | None:
+        try:
+            payload = json.loads(self._read_body().decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    # -- verbs -----------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        try:
+            if self.path.startswith("/q/"):
+                path = self._object_path()
+                if path is None:
+                    return self._fail(400, f"invalid object path {self.path!r}")
+                try:
+                    return self._send(200, self.transport.read(path))
+                except TransportNotFound:
+                    return self._fail(404, f"no object {path!r}")
+            if self.path == "/v1/journal":
+                return self._send(
+                    200, self.transport.journal_read(),
+                    content_type="application/x-ndjson",
+                )
+            if self.path == "/v1/stats":
+                return self._send_json(
+                    {
+                        "queue_dir": self.transport.describe(),
+                        # Re-read every time: a coordinator may refresh
+                        # meta.json while this server keeps running.
+                        "meta": self.queue._read_meta() or {},
+                        "counts": self.queue.counts(),
+                        "workers": self.queue.worker_health(),
+                    }
+                )
+            return self._fail(404, f"unknown endpoint {self.path!r}")
+        except Exception as exc:  # noqa: BLE001 — a 500 beats a hung follower
+            self._fail(500, f"{type(exc).__name__}: {exc}")
+
+    def do_PUT(self) -> None:  # noqa: N802 - http.server API
+        try:
+            if not self.path.startswith("/q/"):
+                return self._fail(404, f"unknown endpoint {self.path!r}")
+            path = self._object_path()
+            if path is None:
+                return self._fail(400, f"invalid object path {self.path!r}")
+            self.transport.write(path, self._read_body())
+            return self._send_json({"ok": True})
+        except Exception as exc:  # noqa: BLE001
+            self._fail(500, f"{type(exc).__name__}: {exc}")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        try:
+            body = self._body_json()
+            if body is None:
+                return self._fail(400, "request body must be a JSON object")
+            if self.path == "/v1/rename":
+                src, dst = body.get("src", ""), body.get("dst", "")
+                if not (_valid_object(src) and _valid_object(dst)):
+                    return self._fail(400, f"invalid rename {src!r} -> {dst!r}")
+                return self._send_json({"ok": self.transport.rename(src, dst)})
+            if self.path == "/v1/touch":
+                path = body.get("path", "")
+                if not _valid_object(path):
+                    return self._fail(400, f"invalid object path {path!r}")
+                return self._send_json({"ok": self.transport.touch(path)})
+            if self.path == "/v1/delete":
+                path = body.get("path", "")
+                if not _valid_object(path):
+                    return self._fail(400, f"invalid object path {path!r}")
+                return self._send_json({"ok": self.transport.delete(path)})
+            if self.path == "/v1/exists":
+                path = body.get("path", "")
+                if not _valid_object(path):
+                    return self._fail(400, f"invalid object path {path!r}")
+                return self._send_json({"ok": self.transport.exists(path)})
+            if self.path == "/v1/scan":
+                directory = body.get("dir", "")
+                if not _SAFE_DIR.match(directory):
+                    return self._fail(400, f"invalid directory {directory!r}")
+                now, entries = self.transport.scan(directory)
+                return self._send_json(
+                    {"now": now, "entries": [[n, m] for n, m in entries]}
+                )
+            if self.path == "/v1/journal/append":
+                line, needle = body.get("line"), body.get("needle")
+                if not isinstance(line, str) or not isinstance(needle, str):
+                    return self._fail(400, "need string 'line' and 'needle'")
+                appended = self.transport.journal_append(
+                    line.encode("utf-8"), needle.encode("utf-8")
+                )
+                return self._send_json({"appended": appended})
+            if self.path == "/v1/journal/truncate":
+                try:
+                    offset = int(body["offset"])
+                    expected = int(body["expected_size"])
+                except (KeyError, TypeError, ValueError):
+                    return self._fail(
+                        400, "need integer 'offset' and 'expected_size'"
+                    )
+                self.transport.journal_truncate(offset, expected)
+                return self._send_json({"ok": True})
+            return self._fail(404, f"unknown endpoint {self.path!r}")
+        except Exception as exc:  # noqa: BLE001
+            self._fail(500, f"{type(exc).__name__}: {exc}")
+
+
+def serve_queue(
+    queue_dir: str,
+    host: str = DEFAULT_HOST,
+    port: int = 0,
+    *,
+    verbose: bool = False,
+) -> ThreadingHTTPServer:
+    """Build a ready-to-run queue server (call ``serve_forever`` on it).
+
+    The queue directory's layout is created if missing (so a server can
+    be started before the first ``enqueue``), but ``meta.json`` is not:
+    writing the run settings is the enqueuer's job.  ``port=0`` binds
+    an ephemeral port; read it back from ``server.server_address``.
+    """
+    transport = LocalDirTransport(queue_dir)
+    transport.ensure_layout()
+
+    class Handler(QueueRequestHandler):
+        pass
+
+    Handler.transport = transport
+    Handler.queue = WorkQueue(transport=transport)
+    Handler.verbose = verbose
+    server = ThreadingHTTPServer((host, port), Handler)
+    server.daemon_threads = True
+    return server

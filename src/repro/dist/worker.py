@@ -41,6 +41,10 @@ from repro.infer.runner import STATUS_ERROR, ProblemRecord
 
 DEFAULT_POLL_SECONDS = 0.5
 
+#: How often a worker publishes its vitals to the queue's ``health/``
+#: directory (best-effort; beats never block or fail the solve loop).
+DEFAULT_HEARTBEAT_SECONDS = 5.0
+
 
 def default_worker_id() -> str:
     """A human-traceable unique id: host, pid, and a random suffix."""
@@ -62,6 +66,9 @@ class Worker:
         poll_seconds: sleep between claim attempts while other workers
             still hold items.
         progress: called with each finished :class:`ProblemRecord`.
+        heartbeat_seconds: cadence of the per-worker health file
+            (``health/<worker>.json``: pid, host, items done, last-ack
+            age); ``0`` disables heartbeats entirely.
     """
 
     def __init__(
@@ -73,11 +80,17 @@ class Worker:
         batch_size: int | None = None,
         poll_seconds: float = DEFAULT_POLL_SECONDS,
         progress: Callable[[ProblemRecord], None] | None = None,
+        heartbeat_seconds: float = DEFAULT_HEARTBEAT_SECONDS,
     ):
         self.queue = queue if isinstance(queue, WorkQueue) else WorkQueue.open(queue)
         self.worker_id = worker_id or default_worker_id()
         self.poll_seconds = poll_seconds
         self.progress = progress
+        self.heartbeat_seconds = heartbeat_seconds
+        self._items_done = 0
+        self._last_ack_at: float | None = None
+        self._started_at = time.time()
+        self._last_beat = float("-inf")
         self._stop_requested = False
         meta = self.queue.meta
         self.solver = meta.get("solver", "gcln")
@@ -107,6 +120,39 @@ class Worker:
     def stop_requested(self) -> bool:
         return self._stop_requested
 
+    def beat(self, *, force: bool = False, exited: bool = False) -> None:
+        """Publish this worker's vitals to the queue (best-effort).
+
+        Throttled to :attr:`heartbeat_seconds`; never raises — a queue
+        that cannot take heartbeats (transport blip) must not stop the
+        solve loop, and liveness just degrades to lease expiry.
+        """
+        if self.heartbeat_seconds <= 0:
+            return
+        now = time.monotonic()
+        if not force and now - self._last_beat < self.heartbeat_seconds:
+            return
+        self._last_beat = now
+        wall = time.time()
+        try:
+            self.queue.heartbeat(
+                self.worker_id,
+                {
+                    "pid": os.getpid(),
+                    "host": socket.gethostname(),
+                    "started_at": self._started_at,
+                    "items_done": self._items_done,
+                    "last_ack_age": (
+                        wall - self._last_ack_at
+                        if self._last_ack_at is not None
+                        else None
+                    ),
+                    "exited": exited,
+                },
+            )
+        except Exception:  # noqa: BLE001 — heartbeats are advisory
+            pass
+
     def run(self, max_items: int | None = None) -> int:
         """Drain the queue; returns the number of items this worker acked.
 
@@ -116,19 +162,26 @@ class Worker:
         their leases to expire.
         """
         processed = 0
-        while max_items is None or processed < max_items:
-            if self._stop_requested:
-                break
-            limit = self.batch_size
-            if max_items is not None:
-                limit = min(limit, max_items - processed)
-            batch = self.queue.claim(self.worker_id, limit=limit)
-            if not batch:
-                if self.queue.unfinished() == 0 or self._stop_requested:
+        self.beat(force=True)
+        try:
+            while max_items is None or processed < max_items:
+                if self._stop_requested:
                     break
-                time.sleep(self.poll_seconds)
-                continue
-            processed += self._process(batch)
+                self.beat()
+                limit = self.batch_size
+                if max_items is not None:
+                    limit = min(limit, max_items - processed)
+                batch = self.queue.claim(self.worker_id, limit=limit)
+                if not batch:
+                    if self.queue.unfinished() == 0 or self._stop_requested:
+                        break
+                    time.sleep(self.poll_seconds)
+                    continue
+                processed += self._process(batch)
+        finally:
+            # The final beat marks a *clean* exit; a crashed worker
+            # never reaches it and shows up as "stale" instead.
+            self.beat(force=True, exited=True)
         return processed
 
     def _process(self, batch: list[WorkItem]) -> int:
@@ -209,6 +262,9 @@ class Worker:
             {"index": item.data.get("index"), "record": record.to_dict()},
             worker=self.worker_id,
         )
+        self._items_done += 1
+        self._last_ack_at = time.time()
+        self.beat()
         if self.progress is not None:
             self.progress(record)
 
@@ -236,14 +292,21 @@ def worker_main(
     batch_size: int | None = None,
     max_items: int | None = None,
     poll_seconds: float = DEFAULT_POLL_SECONDS,
+    heartbeat_seconds: float = DEFAULT_HEARTBEAT_SECONDS,
 ) -> int:
-    """Module-level worker entry point (used as a process target)."""
+    """Module-level worker entry point (used as a process target).
+
+    ``queue_dir`` may be a local directory or an ``http(s)://`` queue
+    server URL — a remote follower is the same loop over a different
+    transport.
+    """
     worker = Worker(
         WorkQueue.open(queue_dir),
         worker_id=worker_id,
         cache_dir=cache_dir,
         batch_size=batch_size,
         poll_seconds=poll_seconds,
+        heartbeat_seconds=heartbeat_seconds,
     )
     install_stop_handler(worker)
     return worker.run(max_items=max_items)

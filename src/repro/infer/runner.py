@@ -241,8 +241,11 @@ def run_many(
     cache_dir: str | None = None,
     cache: TraceCache | None = None,
     events=None,
-    workers: int = 1,
+    workers: "int | str" = 1,
     queue_dir: str | None = None,
+    min_workers: int = 1,
+    max_workers: int | None = None,
+    fleet_status: Callable[[dict], None] | None = None,
 ) -> list[ProblemRecord]:
     """Run a registered solver on every problem, optionally in parallel.
 
@@ -280,12 +283,22 @@ def run_many(
         workers: > 1 (or any value with ``queue_dir``) switches to the
             distributed runner (:mod:`repro.dist`): the problems are
             enqueued on a journaled work queue and drained by this many
-            local worker processes.  Mutually exclusive with ``jobs``
-            and ``solve_fn``; ``cross_batch`` composes (each worker
-            claims cross-batch-sized item batches).
-        queue_dir: durable queue directory for the ``workers`` path.
-            Re-running on a half-finished queue skips journaled items
-            (resume); omitted = a private temporary queue.
+            local worker processes.  ``"auto"`` runs an *elastic* fleet
+            sized to queue depth between ``min_workers`` and
+            ``max_workers``.  Mutually exclusive with ``jobs`` and
+            ``solve_fn``; ``cross_batch`` composes (each worker claims
+            cross-batch-sized item batches).
+        queue_dir: durable queue directory for the ``workers`` path —
+            or an ``http(s)://`` queue-server URL, making the spawned
+            workers remote followers.  Re-running on a half-finished
+            queue skips journaled items (resume); omitted = a private
+            temporary queue.
+        min_workers: elastic-fleet floor (``workers="auto"`` only).
+        max_workers: elastic-fleet ceiling (``workers="auto"`` only);
+            ``None`` = CPU count, capped at 8.
+        fleet_status: distributed-run live tail — called with a fleet
+            snapshot (live workers, queue counts, per-worker health)
+            whenever the state changes.
 
     Returns:
         One record per problem, in input order, regardless of
@@ -315,9 +328,17 @@ def run_many(
             )
         if solve_fn is not None:
             raise ValueError("cross_batch and solve_fn are mutually exclusive")
-    if workers < 1:
+    if isinstance(workers, str):
+        if workers != "auto":
+            raise ValueError(
+                f"workers must be an integer or 'auto', got {workers!r}"
+            )
+    elif workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
-    distributed = workers > 1 or queue_dir is not None
+    distributed = (
+        workers == "auto" or queue_dir is not None
+        or (isinstance(workers, int) and workers > 1)
+    )
     if distributed:
         if jobs != 1:
             raise ValueError(
@@ -352,6 +373,9 @@ def run_many(
             cross_batch=cross_batch,
             cache_dir=cache_dir,
             progress=progress,
+            min_workers=min_workers,
+            max_workers=max_workers,
+            fleet_status=fleet_status,
         )
 
     if cross_batch > 1:

@@ -251,6 +251,10 @@ class QueueExecutor:
             "queue_dir": str(self.queue.root),
             "solver": self.solver,
             **counts,
+            # Per-worker heartbeats (pid, host, items done, last-ack
+            # age, live/stale/exited), so GET /v1/stats shows fleet
+            # health next to the queue depth it explains.
+            "workers": self.queue.worker_health(),
         }
 
     def close(self) -> None:
